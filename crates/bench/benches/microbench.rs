@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the substrate hot paths: the real
+//! work-stealing pool, the discrete-event engine, the MCPL interpreter and
+//! the device load balancer.
+//!
+//! ```text
+//! cargo bench -p cashmere-bench
+//! ```
+//!
+//! Sample sizes are kept small: these exist to catch order-of-magnitude
+//! regressions in the simulation substrate, not to microtune.
+
+use cashmere::Balancer;
+use cashmere_des::{Sim, SimTime};
+use cashmere_hwdesc::standard_hierarchy;
+use cashmere_mcl::interp::{execute, ExecOptions};
+use cashmere_mcl::value::{ArgValue, ArrayArg};
+use cashmere_mcl::{compile, CheckedKernel};
+use cashmere_satin::{parallel_reduce, SatinPool};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_satin_pool(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = SatinPool::new(threads);
+    c.bench_function("satin_pool/parallel_reduce_1M", |b| {
+        b.iter(|| {
+            let sum = pool.run(|| {
+                parallel_reduce(
+                    0,
+                    1_000_000,
+                    1 << 13,
+                    &|lo, hi| (lo..hi).map(|x| x.wrapping_mul(31)).sum::<u64>(),
+                    &|a, b| a.wrapping_add(b),
+                )
+            });
+            black_box(sum)
+        })
+    });
+    c.bench_function("satin_pool/fib_20_join_overhead", |b| {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (x, y) = cashmere_satin::join(|| fib(n - 1), || fib(n - 2));
+            x + y
+        }
+        b.iter(|| black_box(pool.run(|| fib(20))))
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    c.bench_function("des/100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim: Sim<u64> = Sim::new(1);
+                for i in 0..100_000u64 {
+                    sim.schedule_at(SimTime::from_nanos(i % 977), move |w: &mut u64, _| {
+                        *w = w.wrapping_add(i);
+                    });
+                }
+                sim
+            },
+            |mut sim| {
+                let mut world = 0u64;
+                sim.run(&mut world);
+                black_box(world)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn saxpy_kernel() -> (CheckedKernel, Vec<String>) {
+    let h = standard_hierarchy();
+    let ck = compile(
+        "perfect void saxpy(int n, float alpha, float[n] y, float[n] x) {
+  foreach (int i in n threads) { y[i] += alpha * x[i]; }
+}",
+        &h,
+    )
+    .expect("saxpy compiles");
+    (ck, vec!["threads".to_string()])
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let (ck, units) = saxpy_kernel();
+    let n = 64 * 1024u64;
+    c.bench_function("mcl_interp/saxpy_64k_lanes", |b| {
+        b.iter_batched(
+            || {
+                vec![
+                    ArgValue::Int(n as i64),
+                    ArgValue::Float(2.0),
+                    ArgValue::Array(ArrayArg::float(&[n], vec![1.0; n as usize])),
+                    ArgValue::Array(ArrayArg::float(&[n], vec![2.0; n as usize])),
+                ]
+            },
+            |args| {
+                let r = execute(&ck, args, &units, &ExecOptions::default()).expect("runs");
+                black_box(r.stats.flops)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_balancer(c: &mut Criterion) {
+    c.bench_function("balancer/choose_among_4_devices", |b| {
+        let mut bal = Balancer::new(&[40.0, 20.0, 30.0, 10.0]);
+        for d in 0..4 {
+            bal.on_submit(d);
+            bal.on_complete("k", d, SimTime::from_millis(100 + d as u64 * 25));
+        }
+        for _ in 0..5 {
+            bal.on_submit(0);
+        }
+        b.iter(|| black_box(bal.choose("k")))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_satin_pool, bench_des, bench_interpreter, bench_balancer
+}
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Load balancer** — the paper's Sec. III-B scenario minimization vs
+//!    round-robin vs greedy-fastest, on the K20+Phi heterogeneous node.
+//! 2. **Transfer/kernel overlap** — the paper's Sec. II-C3 claim that
+//!    Cashmere overlaps PCIe copies with kernels.
+//! 3. **Interconnect** — QDR InfiniBand vs gigabit Ethernet for the
+//!    communication-bound application (the paper's "skewed
+//!    computation/communication ratio" discussion, Sec. I).
+//! 4. **Management-thread concurrency** — how many node-level leaves a
+//!    node runs at once (1 = no pipelining, 2 = the paper's overlap).
+//!
+//! ```text
+//! cargo run --release -p cashmere-bench --bin ablation
+//! ```
+
+use cashmere::balancer::Policy;
+use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
+use cashmere_apps::kmeans::{run_iterations, KmeansApp, KmeansProblem};
+use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
+use cashmere_apps::KernelSet;
+use cashmere_bench::{paper_sim_config, write_json, Series, Table};
+use cashmere_netsim::NetConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    study: String,
+    variant: String,
+    makespan_s: f64,
+    relative: f64,
+}
+
+fn kmeans_on(spec: &ClusterSpec, policy: Policy, slots: usize, n: u64) -> f64 {
+    let pr = KmeansProblem {
+        n,
+        k: 4096,
+        d: 4,
+        iterations: 3,
+    };
+    let app = KmeansApp::phantom(pr, 262_144, 8);
+    let cents = app.centroids.clone();
+    let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
+    cfg.max_concurrent_leaves = slots;
+    let mut cluster = build_cluster(
+        app,
+        KmeansApp::registry(KernelSet::Optimized),
+        spec,
+        cfg,
+        RuntimeConfig {
+            balancer_policy: policy,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let (_, elapsed) = run_iterations(&mut cluster, &pr, &cents, false);
+    elapsed.as_secs_f64()
+}
+
+fn k20_phi_node() -> ClusterSpec {
+    ClusterSpec {
+        node_devices: vec![vec!["k20".to_string(), "xeon_phi".to_string()]],
+    }
+}
+
+fn matmul_run(net: NetConfig, overlap: bool) -> f64 {
+    let pr = MatmulProblem::square(16384);
+    let app = MatmulApp::phantom(pr, 128, 8);
+    let root = app.row_job(0, pr.n);
+    let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
+    cfg.net = net;
+    let mut cluster = build_cluster(
+        app,
+        MatmulApp::registry(KernelSet::Optimized),
+        &ClusterSpec::homogeneous(8, "gtx480"),
+        cfg,
+        RuntimeConfig {
+            overlap,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let start = cluster.now();
+    cluster.broadcast(pr.p * pr.m * 4);
+    let bcast = (cluster.now() - start).as_secs_f64();
+    let _ = cluster.run_root(root);
+    bcast + cluster.report().makespan.as_secs_f64()
+}
+
+fn main() {
+    let mut json = Vec::new();
+
+    println!(
+        "Ablation 1: device load balancer (k-means on one K20 + Xeon Phi node,\n\
+         where the per-job device choice actually binds)\n"
+    );
+    let mut t = Table::new(&["policy", "makespan", "vs scenario"]);
+    let base = kmeans_on(&k20_phi_node(), Policy::Scenario, 2, 16_000_000);
+    for (name, policy) in [
+        ("scenario (paper III-B)", Policy::Scenario),
+        ("round-robin", Policy::RoundRobin),
+        ("greedy-fastest", Policy::FastestOnly),
+    ] {
+        let m = kmeans_on(&k20_phi_node(), policy, 2, 16_000_000);
+        t.row(vec![
+            name.to_string(),
+            format!("{m:.2}s"),
+            format!("{:.2}x", m / base),
+        ]);
+        json.push(AblationRow {
+            study: "balancer".into(),
+            variant: name.into(),
+            makespan_s: m,
+            relative: m / base,
+        });
+    }
+    println!("{}", t.render());
+
+    println!("Ablation 2: PCIe transfer/kernel overlap (matmul 16384³, 8 gtx480)\n");
+    let mut t = Table::new(&["overlap", "makespan", "vs overlapped"]);
+    let on = matmul_run(NetConfig::qdr_infiniband(), true);
+    for (name, overlap) in [("on (paper II-C3)", true), ("off", false)] {
+        let m = matmul_run(NetConfig::qdr_infiniband(), overlap);
+        t.row(vec![
+            name.to_string(),
+            format!("{m:.2}s"),
+            format!("{:.2}x", m / on),
+        ]);
+        json.push(AblationRow {
+            study: "overlap".into(),
+            variant: name.into(),
+            makespan_s: m,
+            relative: m / on,
+        });
+    }
+    println!("{}", t.render());
+
+    println!("Ablation 3: interconnect (same matmul)\n");
+    let mut t = Table::new(&["network", "makespan", "vs QDR IB"]);
+    for (name, net) in [
+        ("QDR InfiniBand", NetConfig::qdr_infiniband()),
+        ("gigabit Ethernet", NetConfig::gigabit_ethernet()),
+    ] {
+        let m = matmul_run(net, true);
+        t.row(vec![
+            name.to_string(),
+            format!("{m:.2}s"),
+            format!("{:.2}x", m / on),
+        ]);
+        json.push(AblationRow {
+            study: "network".into(),
+            variant: name.into(),
+            makespan_s: m,
+            relative: m / on,
+        });
+    }
+    println!("{}", t.render());
+
+    println!(
+        "Ablation 4: concurrent node-leaves per node (heterogeneous k-means, 22\n\
+         nodes — light transfers, so pipelining trades against hoarding)\n"
+    );
+    let mut t = Table::new(&["management slots", "makespan", "vs 2 slots"]);
+    let slots_base = kmeans_on(&ClusterSpec::paper_hetero_kmeans(), Policy::Scenario, 2, 67_000_000);
+    for slots in [1usize, 2, 4] {
+        let m = kmeans_on(&ClusterSpec::paper_hetero_kmeans(), Policy::Scenario, slots, 67_000_000);
+        t.row(vec![
+            slots.to_string(),
+            format!("{m:.2}s"),
+            format!("{:.2}x", m / slots_base),
+        ]);
+        json.push(AblationRow {
+            study: "leaf-slots".into(),
+            variant: slots.to_string(),
+            makespan_s: m,
+            relative: m / slots_base,
+        });
+    }
+    println!("{}", t.render());
+
+    write_json("ablation", &json);
+}

@@ -1,0 +1,97 @@
+//! Regenerate Figs. 16/17: Gantt charts of a heterogeneous K-means run.
+//!
+//! Fig. 16 is the zoomed-in view of two nodes — one with a GTX480, one
+//! with a Xeon Phi *and* a K20 — showing kernel executions (wide bars)
+//! overlapped with transfers and CPU tasks, and the load balancer placing
+//! 7 jobs on the K20 for every 1 on the Phi. Fig. 17 is the zoomed-out
+//! whole-run view with only the kernel executions.
+//!
+//! ```text
+//! cargo run --release -p cashmere-bench --bin gantt
+//! ```
+
+use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
+use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
+use cashmere_apps::KernelSet;
+use cashmere_bench::paper_sim_config;
+use cashmere_bench::Series;
+use cashmere_des::trace::SpanKind;
+use cashmere_des::SimTime;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    // A small heterogeneous cluster so the chart stays readable: the two
+    // nodes of the paper's Fig. 16 plus two more GTX480 nodes for realistic
+    // stealing traffic.
+    let spec = ClusterSpec {
+        node_devices: vec![
+            vec!["gtx480".to_string()],
+            vec!["k20".to_string(), "xeon_phi".to_string()],
+            vec!["gtx480".to_string()],
+            vec!["gtx480".to_string()],
+        ],
+    };
+    let pr = KmeansProblem {
+        n: 16_000_000,
+        k: 4096,
+        d: 4,
+        iterations: 3,
+    };
+    let app = KmeansApp::phantom(pr, 500_000, 8);
+    let cents = app.centroids.clone();
+    let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
+    cfg.trace = true;
+    let mut cluster = build_cluster(
+        app,
+        KmeansApp::registry(KernelSet::Optimized),
+        &spec,
+        cfg,
+        RuntimeConfig::default(),
+    )
+    .unwrap();
+    let (_, elapsed) = kmeans::run_iterations(&mut cluster, &pr, &cents, false);
+    println!(
+        "heterogeneous k-means: {} nodes, {} iterations, {elapsed} virtual time\n",
+        spec.nodes(),
+        pr.iterations
+    );
+
+    let trace = cluster.trace();
+
+    // Fig. 16: zoom into the first ~1/6 of the run — all activity kinds.
+    let horizon = trace.horizon();
+    let window = (SimTime::ZERO, SimTime::from_nanos(horizon.as_nanos() / 6));
+    println!("Fig. 16 (zoomed view, first sixth of the run, all activities):\n");
+    println!("{}", trace.gantt(Some(window), None).render_ascii(100));
+
+    // Fig. 17: the whole run, kernel executions only.
+    println!("Fig. 17 (whole run, kernel executions only):\n");
+    println!(
+        "{}",
+        trace
+            .gantt(None, Some(&[SpanKind::Kernel]))
+            .render_ascii(100)
+    );
+
+    // The load-balancer observation from the paper's Fig. 16 discussion.
+    let rt = cluster.leaf_runtime();
+    let phi_node = &rt.nodes[1];
+    println!(
+        "device jobs on node 1: K20 = {}, Xeon Phi = {} (paper: \"schedules 1 job\n\
+         on the Xeon Phi and 7 on the K20 which is the fastest configuration\")\n",
+        phi_node.devices[0].jobs_run, phi_node.devices[1].jobs_run
+    );
+
+    // CSV export next to the JSON outputs.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("bench/out");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join("fig16_17_gantt.csv");
+    match fs::write(&path, trace.to_csv()) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

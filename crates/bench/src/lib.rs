@@ -1,0 +1,20 @@
+//! # cashmere-bench — figure and table regeneration harnesses
+//!
+//! One binary per experiment of the paper's evaluation (Sec. V):
+//!
+//! | binary    | regenerates |
+//! |-----------|-------------|
+//! | `tables`  | Table I (TOP500 background), Table II (app classes), Fig. 2 (hierarchy) |
+//! | `fig6`    | Fig. 6 — kernel GFLOPS, unoptimized vs optimized, 4 apps × 7 devices |
+//! | `scaling` | Figs. 7–14 — speedup + absolute GFLOPS, 1..16 GTX480 nodes, three series |
+//! | `hetero`  | Table III + Fig. 15 — heterogeneous GFLOPS and efficiency |
+//! | `gantt`   | Figs. 16/17 — Gantt charts of the heterogeneous K-means run |
+//!
+//! All binaries print the series the paper plots and write JSON to
+//! `bench/out/`. Runs are deterministic (fixed seeds, virtual time).
+
+pub mod output;
+pub mod runners;
+
+pub use output::{write_json, Table};
+pub use runners::{kernel_gflops, paper_sim_config, run_app, AppId, RunOutcome, Series};

@@ -1,0 +1,394 @@
+//! Shared experiment glue: build and run any of the four applications at
+//! paper scale, in any of the three measurement series, on any cluster.
+//!
+//! Grain choices (node-level jobs ≈ 64, device jobs = 8 per leaf, Satin
+//! leaves 8× finer) mirror the paper's setup: "Satin has more overhead in
+//! job creation because it needs to create 8 times more jobs to keep one
+//! node busy" (Sec. V-B).
+
+use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
+use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
+use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
+use cashmere_apps::nbody::{self, NbodyApp, NbodyProblem};
+use cashmere_apps::raytracer::{RaytracerApp, RaytracerProblem};
+use cashmere_apps::{AppMode, KernelSet};
+use cashmere_devsim::{ExecMode, SimDevice};
+use cashmere_hwdesc::DeviceKind;
+use cashmere_mcl::interp::Sampling;
+use cashmere_satin::{ClusterSim, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The four applications (Table II order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppId {
+    Raytracer,
+    Matmul,
+    Kmeans,
+    Nbody,
+}
+
+impl AppId {
+    pub const ALL: [AppId; 4] = [AppId::Raytracer, AppId::Matmul, AppId::Kmeans, AppId::Nbody];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Raytracer => "raytracer",
+            AppId::Matmul => "matmul",
+            AppId::Kmeans => "k-means",
+            AppId::Nbody => "n-body",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<AppId> {
+        match s.to_ascii_lowercase().as_str() {
+            "raytracer" | "rt" => Some(AppId::Raytracer),
+            "matmul" | "mm" => Some(AppId::Matmul),
+            "kmeans" | "k-means" | "km" => Some(AppId::Kmeans),
+            "nbody" | "n-body" | "nb" => Some(AppId::Nbody),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's three measurement series (Sec. IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Series {
+    Satin,
+    CashmereUnopt,
+    CashmereOpt,
+}
+
+impl Series {
+    pub const ALL: [Series; 3] = [Series::Satin, Series::CashmereUnopt, Series::CashmereOpt];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::Satin => "satin",
+            Series::CashmereUnopt => "cashmere-unopt",
+            Series::CashmereOpt => "cashmere-opt",
+        }
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    pub app: String,
+    pub series: String,
+    pub nodes: usize,
+    pub makespan_s: f64,
+    pub gflops: f64,
+    pub kernels_run: u64,
+    pub cpu_fallbacks: u64,
+    pub steals_ok: u64,
+    pub network_bytes: u64,
+}
+
+/// Node-level grain at paper scale. The light-communication applications
+/// use ≈1024 node jobs so the end-of-run tail (in-flight leaves cannot
+/// migrate) stays a small fraction of the makespan even on the 22-node
+/// heterogeneous configurations; matmul uses ≈256 taller jobs because each
+/// device job re-ships a `B` column panel, so smaller jobs would multiply
+/// PCIe traffic.
+fn node_grain(app: AppId) -> u64 {
+    match app {
+        AppId::Raytracer => RaytracerProblem::paper().pixels() / 1024,
+        AppId::Matmul => 128,              // 32768 rows / 128 = 256 jobs
+        AppId::Kmeans => 262_144,          // ≈1024 jobs of 268 M points
+        AppId::Nbody => 1_954,             // 2 M bodies / 1024
+    }
+}
+
+const DEVICE_JOBS: u64 = 8;
+
+/// Cluster engine configuration used by all paper experiments.
+pub fn paper_sim_config(series: Series, seed: u64) -> SimConfig {
+    SimConfig {
+        cores_per_node: 8,
+        seed,
+        // Cashmere pipelines two sets of device jobs per node (kernels of
+        // one overlap transfers of the other); Satin leaves are one-core
+        // jobs, so every core may run one.
+        max_concurrent_leaves: match series {
+            Series::Satin => usize::MAX,
+            _ => 2,
+        },
+        // Ibis/Satin's steal round trip on QDR IB is tens of microseconds;
+        // a 50 µs retry keeps fast devices fed on heterogeneous clusters.
+        steal_retry: cashmere_des::SimTime::from_micros(50),
+        ..SimConfig::default()
+    }
+}
+
+fn kernel_set(series: Series) -> KernelSet {
+    match series {
+        Series::CashmereOpt => KernelSet::Optimized,
+        _ => KernelSet::Unoptimized,
+    }
+}
+
+/// Run one application in one series on the given cluster; phantom mode,
+/// paper problem sizes.
+pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> RunOutcome {
+    let cfg = paper_sim_config(series, seed);
+    let rt_cfg = RuntimeConfig::default();
+    let grain = node_grain(app);
+    // Satin: leaves sized for a single core (8× more jobs per node).
+    let satin_grain = (grain / 8).max(1);
+
+    let (makespan_s, total_flops, kernels, fallbacks, steals, bytes) = match app {
+        AppId::Raytracer => {
+            let pr = RaytracerProblem::paper();
+            match series {
+                Series::Satin => {
+                    let a = Arc::new(RaytracerApp::new(pr, AppMode::Phantom, satin_grain, 1));
+                    let rt = a.satin_runtime();
+                    let app2 = RaytracerApp::new(pr, AppMode::Phantom, satin_grain, 1);
+                    let mut cs = ClusterSim::new(app2, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let _ = cs.run_root((0, pr.pixels()));
+                    let r = cs.report();
+                    (r.makespan.as_secs_f64(), pr.flops(), 0, 0, r.steals_ok, r.bytes_total())
+                }
+                _ => {
+                    let a = RaytracerApp::new(pr, AppMode::Phantom, grain, DEVICE_JOBS);
+                    let reg = RaytracerApp::registry(kernel_set(series));
+                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    let _ = cs.run_root((0, pr.pixels()));
+                    let (r, l) = (cs.report(), cs.leaf_runtime());
+                    (
+                        r.makespan.as_secs_f64(),
+                        pr.flops(),
+                        l.kernels_run,
+                        l.cpu_fallbacks,
+                        r.steals_ok,
+                        r.bytes_total(),
+                    )
+                }
+            }
+        }
+        AppId::Matmul => {
+            let pr = MatmulProblem::paper();
+            match series {
+                Series::Satin => {
+                    let a = MatmulApp::phantom(pr, satin_grain, 1);
+                    let root = a.row_job(0, pr.n);
+                    let rt = a.satin_runtime();
+                    let mut cs = ClusterSim::new(a, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    // Strong scaling includes distributing B to every node —
+                    // the O(n²) traffic that makes matmul communication-heavy.
+                    let start = cs.now();
+                    cs.broadcast(pr.p * pr.m * 4);
+                    let bcast = (cs.now() - start).as_secs_f64();
+                    let _ = cs.run_root(root);
+                    let r = cs.report();
+                    (
+                        bcast + r.makespan.as_secs_f64(),
+                        pr.flops(),
+                        0,
+                        0,
+                        r.steals_ok,
+                        r.bytes_total(),
+                    )
+                }
+                _ => {
+                    let a = MatmulApp::phantom(pr, grain, DEVICE_JOBS);
+                    let root = a.row_job(0, pr.n);
+                    let reg = MatmulApp::registry(kernel_set(series));
+                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    let start = cs.now();
+                    cs.broadcast(pr.p * pr.m * 4);
+                    let bcast = (cs.now() - start).as_secs_f64();
+                    let _ = cs.run_root(root);
+                    let (r, l) = (cs.report(), cs.leaf_runtime());
+                    (
+                        bcast + r.makespan.as_secs_f64(),
+                        pr.flops(),
+                        l.kernels_run,
+                        l.cpu_fallbacks,
+                        r.steals_ok,
+                        r.bytes_total(),
+                    )
+                }
+            }
+        }
+        AppId::Kmeans => {
+            let pr = KmeansProblem::paper();
+            match series {
+                Series::Satin => {
+                    let a = Arc::new(KmeansApp::phantom(pr, satin_grain, 1));
+                    let rt = a.satin_runtime();
+                    let app2 = KmeansApp::phantom(pr, satin_grain, 1);
+                    let cents = app2.centroids.clone();
+                    let mut cs = ClusterSim::new(app2, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let (_, elapsed) = kmeans::run_iterations(&mut cs, &pr, &cents, false);
+                    let r = cs.report();
+                    (elapsed.as_secs_f64(), pr.total_flops(), 0, 0, r.steals_ok, r.bytes_total())
+                }
+                _ => {
+                    let a = KmeansApp::phantom(pr, grain, DEVICE_JOBS);
+                    let cents = a.centroids.clone();
+                    let reg = KmeansApp::registry(kernel_set(series));
+                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    let (_, elapsed) = kmeans::run_iterations(&mut cs, &pr, &cents, false);
+                    let (r, l) = (cs.report(), cs.leaf_runtime());
+                    (
+                        elapsed.as_secs_f64(),
+                        pr.total_flops(),
+                        l.kernels_run,
+                        l.cpu_fallbacks,
+                        r.steals_ok,
+                        r.bytes_total(),
+                    )
+                }
+            }
+        }
+        AppId::Nbody => {
+            let pr = NbodyProblem::paper();
+            match series {
+                Series::Satin => {
+                    let a = Arc::new(NbodyApp::phantom(pr, satin_grain, 1));
+                    let rt = a.satin_runtime();
+                    let app2 = NbodyApp::phantom(pr, satin_grain, 1);
+                    let mut cs = ClusterSim::new(app2, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let elapsed = nbody::run_iterations(&mut cs, &pr, |_| {});
+                    let r = cs.report();
+                    (elapsed.as_secs_f64(), pr.total_flops(), 0, 0, r.steals_ok, r.bytes_total())
+                }
+                _ => {
+                    let a = NbodyApp::phantom(pr, grain, DEVICE_JOBS);
+                    let reg = NbodyApp::registry(kernel_set(series));
+                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    let elapsed = nbody::run_iterations(&mut cs, &pr, |_| {});
+                    let (r, l) = (cs.report(), cs.leaf_runtime());
+                    (
+                        elapsed.as_secs_f64(),
+                        pr.total_flops(),
+                        l.kernels_run,
+                        l.cpu_fallbacks,
+                        r.steals_ok,
+                        r.bytes_total(),
+                    )
+                }
+            }
+        }
+    };
+
+    RunOutcome {
+        app: app.name().to_string(),
+        series: series.name().to_string(),
+        nodes: spec.nodes(),
+        makespan_s,
+        gflops: total_flops / makespan_s / 1e9,
+        kernels_run: kernels,
+        cpu_fallbacks: fallbacks,
+        steals_ok: steals,
+        network_bytes: bytes,
+    }
+}
+
+/// Fig. 6 measurement: kernel execution time alone (no transfers) for one
+/// representative device job of the paper-scale problem.
+pub fn kernel_gflops(app: AppId, set: KernelSet, device: DeviceKind) -> Option<f64> {
+    let h = cashmere_hwdesc::standard_hierarchy();
+    let dev = SimDevice::new(&h, device.level(&h)).ok()?;
+    let job = (0u64, node_grain(app) / DEVICE_JOBS);
+
+    let (reg, call, flops) = match app {
+        AppId::Raytracer => {
+            let pr = RaytracerProblem::paper();
+            let a = RaytracerApp::new(pr, AppMode::Phantom, node_grain(app), DEVICE_JOBS);
+            (
+                RaytracerApp::registry(set),
+                cashmere::CashmereApp::kernel_call(&a, &job),
+                pr.job_flops(job.1),
+            )
+        }
+        AppId::Matmul => {
+            let pr = MatmulProblem::paper();
+            let a = MatmulApp::phantom(pr, node_grain(app), DEVICE_JOBS);
+            // One device job exactly as the cluster runs produce them: a
+            // node-grain row stripe × one of the 8 column panels.
+            let djob =
+                cashmere::CashmereApp::device_jobs(&a, &a.row_job(0, node_grain(app)))[0];
+            (
+                MatmulApp::registry(set),
+                cashmere::CashmereApp::kernel_call(&a, &djob),
+                pr.block_flops(djob.rows(), djob.cols()),
+            )
+        }
+        AppId::Kmeans => {
+            let pr = KmeansProblem::paper();
+            let a = KmeansApp::phantom(pr, node_grain(app), DEVICE_JOBS);
+            (
+                KmeansApp::registry(set),
+                cashmere::CashmereApp::kernel_call(&a, &job),
+                pr.job_flops(job.1),
+            )
+        }
+        AppId::Nbody => {
+            let pr = NbodyProblem::paper();
+            let a = NbodyApp::phantom(pr, node_grain(app), DEVICE_JOBS);
+            (
+                NbodyApp::registry(set),
+                cashmere::CashmereApp::kernel_call(&a, &job),
+                pr.job_flops(job.1),
+            )
+        }
+    };
+
+    let kernel_name = call.kernel.clone();
+    let ck = reg.select(&kernel_name, dev.level)?;
+    let run = dev
+        .run_kernel(
+            &h,
+            ck,
+            call.args,
+            ExecMode::Sampled {
+                sampling: Sampling::default(),
+                extra_scale: call.extra_scale,
+            },
+        )
+        .ok()?;
+    Some(flops / run.cost.total_s / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_and_series_parse() {
+        assert_eq!(AppId::parse("matmul"), Some(AppId::Matmul));
+        assert_eq!(AppId::parse("K-MEANS"), Some(AppId::Kmeans));
+        assert_eq!(AppId::parse("bogus"), None);
+        assert_eq!(Series::ALL.len(), 3);
+    }
+
+    #[test]
+    fn kernel_gflops_sane_for_matmul() {
+        let un = kernel_gflops(AppId::Matmul, KernelSet::Unoptimized, DeviceKind::Gtx480).unwrap();
+        let opt = kernel_gflops(AppId::Matmul, KernelSet::Optimized, DeviceKind::Gtx480).unwrap();
+        assert!(opt > un * 2.0, "opt {opt:.0} vs unopt {un:.0}");
+        assert!(opt < 1345.0, "below GTX480 peak");
+    }
+
+    #[test]
+    fn scaling_run_one_node_vs_four() {
+        let one = run_app(
+            AppId::Kmeans,
+            Series::CashmereOpt,
+            &ClusterSpec::homogeneous(1, "gtx480"),
+            1,
+        );
+        let four = run_app(
+            AppId::Kmeans,
+            Series::CashmereOpt,
+            &ClusterSpec::homogeneous(4, "gtx480"),
+            1,
+        );
+        let speedup = one.makespan_s / four.makespan_s;
+        assert!(speedup > 2.0, "4-node speedup {speedup:.2}");
+        assert!(four.gflops > one.gflops * 2.0);
+    }
+}

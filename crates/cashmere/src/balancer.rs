@@ -1,0 +1,328 @@
+//! Cashmere's two-phase device load balancer (paper Sec. III-B).
+//!
+//! "Initially, Cashmere uses a heuristic based on a static table of relative
+//! many-core device speeds to schedule the first jobs. […] When these jobs
+//! have completed, we know the execution time for each kernel for a specific
+//! device. Based on this time Cashmere submits the jobs to the different
+//! queues for each device trying to minimize the overall execution time for
+//! all jobs."
+//!
+//! The worked example from the paper is reproduced verbatim in the tests:
+//! a K20 queue holding 3×100 ms and a GTX480 queue holding 1×125 ms receive
+//! a new job; `scenario1 = max(4·100, 1·125)`, `scenario2 = max(3·100,
+//! 2·125)`, and since `scenario2` is smaller the job goes to the GTX480.
+
+use cashmere_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Device-selection policy. [`Policy::Scenario`] is the paper's algorithm;
+/// the others exist for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Policy {
+    /// Sec. III-B: minimize the scenario makespan over per-device time
+    /// estimates (static table until measured).
+    #[default]
+    Scenario,
+    /// Ignore speeds entirely: rotate over the devices.
+    RoundRobin,
+    /// Greedy: always the device with the best time estimate, ignoring
+    /// queue depths.
+    FastestOnly,
+}
+
+/// Per-device queue state the balancer reasons about.
+#[derive(Debug, Clone)]
+pub struct QueueView {
+    /// Static relative speed (paper: K20 = 40, GTX480 = 20).
+    pub relative_speed: f64,
+    /// Jobs currently queued or running on the device.
+    pub queued: usize,
+}
+
+/// The per-node balancer: static speed table seeding + measured kernel
+/// times per device.
+#[derive(Debug, Clone, Default)]
+pub struct Balancer {
+    speeds: Vec<f64>,
+    queued: Vec<usize>,
+    /// Measured execution time per (kernel, device index).
+    measured: HashMap<(String, usize), SimTime>,
+    /// Selection policy (ablation knob; the paper's algorithm by default).
+    pub policy: Policy,
+    rr_next: usize,
+}
+
+impl Balancer {
+    /// Build from the devices' static relative speeds.
+    pub fn new(relative_speeds: &[f64]) -> Balancer {
+        assert!(!relative_speeds.is_empty(), "a node needs ≥1 device");
+        Balancer {
+            speeds: relative_speeds.to_vec(),
+            queued: vec![0; relative_speeds.len()],
+            measured: HashMap::new(),
+            policy: Policy::Scenario,
+            rr_next: 0,
+        }
+    }
+
+    pub fn device_count(&self) -> usize {
+        self.speeds.len()
+    }
+
+    pub fn queued(&self, device: usize) -> usize {
+        self.queued[device]
+    }
+
+    /// Record that a job was submitted to `device`.
+    pub fn on_submit(&mut self, device: usize) {
+        self.queued[device] += 1;
+    }
+
+    /// Record that a job completed on `device` with the given kernel time —
+    /// from now on the balancer knows this kernel's speed on this device.
+    pub fn on_complete(&mut self, kernel: &str, device: usize, time: SimTime) {
+        debug_assert!(self.queued[device] > 0);
+        self.queued[device] -= 1;
+        self.measured.insert((kernel.to_string(), device), time);
+    }
+
+    /// Has any device measured this kernel yet?
+    pub fn has_measurement(&self, kernel: &str) -> bool {
+        self.measured.keys().any(|(k, _)| k == kernel)
+    }
+
+    /// Per-device time estimate for `kernel`, in seconds. Measured times
+    /// win; unmeasured devices are extrapolated from a measured one via the
+    /// static speed ratio; with no measurements at all, times are the pure
+    /// reciprocal of the static speeds (arbitrary unit — only ratios
+    /// matter for the choice).
+    pub fn estimates(&self, kernel: &str) -> Vec<f64> {
+        let n = self.speeds.len();
+        let mut out = vec![f64::NAN; n];
+        let mut reference: Option<(usize, f64)> = None;
+        // Single pass over the measurement map: no per-device String keys on
+        // this hot path (called for every device-job submission).
+        for ((k, d), t) in &self.measured {
+            if k == kernel {
+                out[*d] = t.as_secs_f64();
+            }
+        }
+        for (d, slot) in out.iter().enumerate() {
+            if !slot.is_nan() && reference.is_none() {
+                reference = Some((d, *slot));
+            }
+        }
+        for (d, slot) in out.iter_mut().enumerate() {
+            if slot.is_nan() {
+                *slot = match reference {
+                    Some((rd, rt)) => rt * self.speeds[rd] / self.speeds[d],
+                    None => 1.0 / self.speeds[d],
+                };
+            }
+        }
+        out
+    }
+
+    /// Choose the device for the next job of `kernel`: minimize over
+    /// candidate devices `d` the scenario makespan
+    /// `max_e (queued_e + [e == d]) · t_e`. Ties break toward the lower
+    /// device index (deterministic).
+    pub fn choose(&self, kernel: &str) -> usize {
+        self.scenario_choice(kernel, None)
+            .expect("at least one device is always allowed")
+    }
+
+    /// Convenience: choose + submit in one step.
+    pub fn submit(&mut self, kernel: &str) -> usize {
+        let d = self.choose(kernel);
+        self.on_submit(d);
+        d
+    }
+
+    /// Like [`Balancer::choose`] but restricted to devices where `allowed`
+    /// holds (devices without an applicable kernel version are excluded).
+    /// Returns `None` when no device qualifies.
+    pub fn choose_among(&mut self, kernel: &str, allowed: &[bool]) -> Option<usize> {
+        assert_eq!(allowed.len(), self.speeds.len());
+        match self.policy {
+            Policy::Scenario => self.scenario_choice(kernel, Some(allowed)),
+            Policy::RoundRobin => {
+                let n = self.speeds.len();
+                for k in 0..n {
+                    let d = (self.rr_next + k) % n;
+                    if allowed[d] {
+                        self.rr_next = (d + 1) % n;
+                        return Some(d);
+                    }
+                }
+                None
+            }
+            Policy::FastestOnly => {
+                let times = self.estimates(kernel);
+                (0..self.speeds.len())
+                    .filter(|&d| allowed[d])
+                    .min_by(|&a, &b| times[a].total_cmp(&times[b]))
+            }
+        }
+    }
+
+    /// The Sec. III-B rule shared by [`Balancer::choose`] and
+    /// [`Balancer::choose_among`]: minimize `max_e (queued_e + [e=d])·t_e`
+    /// over the allowed devices (all of them when `allowed` is `None`).
+    fn scenario_choice(&self, kernel: &str, allowed: Option<&[bool]>) -> Option<usize> {
+        let times = self.estimates(kernel);
+        let mut best: Option<(usize, f64)> = None;
+        for d in 0..self.speeds.len() {
+            if let Some(mask) = allowed {
+                if !mask[d] {
+                    continue;
+                }
+            }
+            let mut scenario: f64 = 0.0;
+            for (e, t) in times.iter().enumerate() {
+                let q = self.queued[e] + usize::from(e == d);
+                scenario = scenario.max(q as f64 * t);
+            }
+            match best {
+                Some((_, v)) if v <= scenario => {}
+                _ => best = Some((d, scenario)),
+            }
+        }
+        best.map(|(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    /// The verbatim example from Sec. III-B.
+    #[test]
+    fn paper_example_k20_vs_gtx480() {
+        // Devices: 0 = K20 (speed 40), 1 = GTX480 (speed 20).
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        // Make both devices measured: K20 jobs take 100 ms, GTX480 125 ms.
+        b.on_submit(0);
+        b.on_complete("k", 0, ms(100));
+        b.on_submit(1);
+        b.on_complete("k", 1, ms(125));
+        // Queue state from the example: K20 has 3 jobs, GTX480 has 1.
+        for _ in 0..3 {
+            b.on_submit(0);
+        }
+        b.on_submit(1);
+        // scenario1 = max(4·100, 1·125) = 400; scenario2 = max(3·100, 2·125)
+        // = 300 ⇒ GTX480 wins.
+        assert_eq!(b.choose("k"), 1, "the paper's example submits to the GTX480");
+    }
+
+    #[test]
+    fn static_speeds_seed_the_first_jobs() {
+        // Unmeasured: estimates are 1/speed, so the faster device is chosen
+        // first, and queues fill ~proportionally to speed.
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        let mut counts = [0usize; 2];
+        for _ in 0..12 {
+            let d = b.submit("k");
+            counts[d] += 1;
+        }
+        assert_eq!(counts[0] + counts[1], 12);
+        // K20 (2× faster) should get about 2× the jobs.
+        assert_eq!(counts[0], 8);
+        assert_eq!(counts[1], 4);
+    }
+
+    #[test]
+    fn measured_time_on_one_device_extrapolates_to_others() {
+        let mut b = Balancer::new(&[40.0, 10.0]);
+        b.on_submit(0);
+        b.on_complete("k", 0, ms(50));
+        let est = b.estimates("k");
+        assert!((est[0] - 0.050).abs() < 1e-12);
+        // 4× slower by the static table ⇒ 200 ms.
+        assert!((est[1] - 0.200).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_device_skipped_when_it_would_lengthen_the_run() {
+        // One fast device (t=10ms) and one very slow (t=1000ms): for a
+        // handful of jobs everything goes to the fast device.
+        let mut b = Balancer::new(&[100.0, 1.0]);
+        b.on_submit(0);
+        b.on_complete("k", 0, ms(10));
+        b.on_submit(1);
+        b.on_complete("k", 1, ms(1000));
+        let mut counts = [0usize; 2];
+        for _ in 0..20 {
+            counts[b.submit("k")] += 1;
+        }
+        assert_eq!(counts[1], 0, "slow device would dominate the makespan");
+        assert_eq!(counts[0], 20);
+    }
+
+    #[test]
+    fn slow_device_used_when_queues_grow_long_enough() {
+        // Phi-vs-K20 situation from the Gantt discussion (Fig. 16): with 8
+        // jobs per set and a 4× slower Phi, the best split is 7 / 1.
+        let mut b = Balancer::new(&[40.0, 10.0]);
+        b.on_submit(0);
+        b.on_complete("kmeans", 0, ms(100));
+        b.on_submit(1);
+        b.on_complete("kmeans", 1, ms(400));
+        let mut counts = [0usize; 2];
+        for _ in 0..8 {
+            counts[b.submit("kmeans")] += 1;
+        }
+        assert_eq!(counts, [7, 1], "paper: 7 on the K20, 1 on the Xeon Phi");
+    }
+
+    #[test]
+    fn per_kernel_measurements_are_independent() {
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        b.on_submit(0);
+        b.on_complete("fast_kernel", 0, ms(1));
+        assert!(b.has_measurement("fast_kernel"));
+        assert!(!b.has_measurement("other_kernel"));
+        // `other_kernel` still uses the static table.
+        let est = b.estimates("other_kernel");
+        assert!((est[0] - 1.0 / 40.0).abs() < 1e-12);
+        assert!((est[1] - 1.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥1 device")]
+    fn empty_device_list_rejected() {
+        let _ = Balancer::new(&[]);
+    }
+
+    #[test]
+    fn round_robin_policy_rotates() {
+        let mut b = Balancer::new(&[40.0, 10.0, 20.0]);
+        b.policy = Policy::RoundRobin;
+        let picks: Vec<usize> = (0..6)
+            .map(|_| b.choose_among("k", &[true, true, true]).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // disallowed devices are skipped
+        let p = b.choose_among("k", &[false, true, false]).unwrap();
+        assert_eq!(p, 1);
+    }
+
+    #[test]
+    fn fastest_only_policy_ignores_queues() {
+        let mut b = Balancer::new(&[40.0, 10.0]);
+        b.policy = Policy::FastestOnly;
+        for _ in 0..10 {
+            let d = b.choose_among("k", &[true, true]).unwrap();
+            assert_eq!(d, 0, "greedy always picks the fastest");
+            b.on_submit(d);
+        }
+        // and respects the allowed mask
+        assert_eq!(b.choose_among("k", &[false, true]), Some(1));
+    }
+}

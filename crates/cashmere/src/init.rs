@@ -1,0 +1,153 @@
+//! Initialization phase (paper Sec. III-B, "On initialization").
+//!
+//! Cashmere assigns one node to be the master; the master broadcasts the
+//! run-time information to each slave, every node detects its devices and
+//! compiles the most specific kernel version for each of them. If a node
+//! carries a device that no hardware description / kernel version covers,
+//! Cashmere *suggests adding a hardware description* rather than failing
+//! silently.
+//!
+//! The simulated cost model: one broadcast of the run-time information and,
+//! per node, sequential compilation of each (kernel, device) pair — nodes
+//! compile in parallel with each other, so the cluster-wide cost is the
+//! slowest node's.
+
+use crate::registry::KernelRegistry;
+use crate::spec::ClusterSpec;
+use cashmere_des::SimTime;
+use cashmere_netsim::NetConfig;
+
+/// Per-kernel-per-device compile time (OpenCL JIT is ~100–300 ms).
+pub const COMPILE_TIME: SimTime = SimTime::from_millis(150);
+/// Serialized run-time information broadcast by the master.
+pub const RUNTIME_INFO_BYTES: u64 = 1 << 20;
+
+/// Result of the initialization phase.
+#[derive(Debug, Clone)]
+pub struct InitReport {
+    /// Virtual time the initialization takes.
+    pub duration: SimTime,
+    /// Kernels compiled across the cluster.
+    pub kernels_compiled: usize,
+    /// "Add a hardware description" suggestions (uncovered devices).
+    pub suggestions: Vec<String>,
+}
+
+/// Model the initialization phase for a cluster of `spec` running the
+/// kernels in `registry`.
+pub fn initialize(registry: &KernelRegistry, spec: &ClusterSpec, net: &NetConfig) -> InitReport {
+    let h = registry.hierarchy();
+    let mut suggestions = Vec::new();
+    let mut kernels_compiled = 0usize;
+    let mut slowest_node = SimTime::ZERO;
+
+    for devices in &spec.node_devices {
+        let mut node_time = SimTime::ZERO;
+        for dev_name in devices {
+            let Some(level) = h.id(dev_name) else {
+                suggestions.push(format!(
+                    "device `{dev_name}` is not in the hardware-description \
+                     hierarchy: add a hardware description for it"
+                ));
+                continue;
+            };
+            for kernel in registry.kernel_names() {
+                if registry.select(kernel, level).is_some() {
+                    kernels_compiled += 1;
+                    node_time += COMPILE_TIME;
+                } else {
+                    suggestions.push(format!(
+                        "device `{dev_name}` has no applicable version of kernel \
+                         `{kernel}`: add a hardware description or a \
+                         higher-level kernel version"
+                    ));
+                }
+            }
+        }
+        slowest_node = slowest_node.max(node_time);
+    }
+
+    // Master → slaves broadcast of the run-time information (sequential
+    // sends on the master's NIC).
+    let slaves = spec.nodes().saturating_sub(1) as u64;
+    let broadcast = SimTime::from_secs_f64(
+        net.wire_time(RUNTIME_INFO_BYTES).as_secs_f64() * slaves as f64,
+    );
+
+    InitReport {
+        duration: broadcast + slowest_node,
+        kernels_compiled,
+        suggestions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_hwdesc::standard_hierarchy;
+
+    fn registry_with_axpy() -> KernelRegistry {
+        let mut r = KernelRegistry::new(standard_hierarchy());
+        r.register(
+            "perfect void axpy(int n, float[n] y, float[n] x) {
+  foreach (int i in n threads) { y[i] += 2.0 * x[i]; }
+}",
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn all_devices_covered_by_a_perfect_kernel() {
+        let r = registry_with_axpy();
+        let spec = ClusterSpec::paper_hetero_nbody();
+        let rep = initialize(&r, &spec, &NetConfig::qdr_infiniband());
+        assert!(rep.suggestions.is_empty(), "{:?}", rep.suggestions);
+        // 22 nodes, 24 devices, 1 kernel each.
+        assert_eq!(rep.kernels_compiled, 24);
+        assert!(rep.duration >= COMPILE_TIME);
+    }
+
+    #[test]
+    fn uncovered_device_yields_suggestion() {
+        let mut r = KernelRegistry::new(standard_hierarchy());
+        r.register(
+            "amd void only_amd(int n, float[n] a) {
+  foreach (int b in (n + 255) / 256 blocks) {
+    foreach (int t in 256 threads) {
+      int i = b * 256 + t;
+      if (i < n) { a[i] = 0.0; }
+    }
+  }
+}",
+        )
+        .unwrap();
+        let spec = ClusterSpec::homogeneous(2, "gtx480");
+        let rep = initialize(&r, &spec, &NetConfig::qdr_infiniband());
+        assert_eq!(rep.kernels_compiled, 0);
+        assert_eq!(rep.suggestions.len(), 2);
+        assert!(rep.suggestions[0].contains("add a hardware description"));
+    }
+
+    #[test]
+    fn unknown_device_name_yields_suggestion() {
+        let r = registry_with_axpy();
+        let spec = ClusterSpec {
+            node_devices: vec![vec!["rtx5090".to_string()]],
+        };
+        let rep = initialize(&r, &spec, &NetConfig::qdr_infiniband());
+        assert_eq!(rep.suggestions.len(), 1);
+        assert!(rep.suggestions[0].contains("not in the hardware-description"));
+    }
+
+    #[test]
+    fn phi_node_compiles_two_device_kernels() {
+        let r = registry_with_axpy();
+        let spec = ClusterSpec {
+            node_devices: vec![vec!["k20".to_string(), "xeon_phi".to_string()]],
+        };
+        let rep = initialize(&r, &spec, &NetConfig::qdr_infiniband());
+        assert_eq!(rep.kernels_compiled, 2);
+        assert_eq!(rep.duration, COMPILE_TIME * 2, "single node, no broadcast");
+    }
+}

@@ -1,0 +1,281 @@
+//! The paper's programming-model surface, for single-device use.
+//!
+//! Fig. 4 of the paper shows how a leaf computation calls an MCL kernel:
+//!
+//! ```text
+//! leaf(a, b)
+//!   try {
+//!     Kernel kernel = Cashmere.getKernel()
+//!     KernelLaunch kl = kernel.createLaunch()
+//!     MCL.launch(kl, a, b)
+//!   } catch (exception) {
+//!     leafCPU(a, b)
+//!   }
+//! ```
+//!
+//! This module provides the same flow in Rust (`Result` instead of
+//! exceptions): [`Cashmere::get_kernel`] → [`KernelHandle::create_launch`]
+//! → [`KernelLaunch::launch`]. "The MCL front-end makes sure that all
+//! necessary data is copied to the many-core device, it selects the
+//! appropriate kernel(s) for the devices available on the node, executes
+//! the kernel, and copies the data back" — the launch here does exactly
+//! that against a simulated device, returning the computed arguments, the
+//! execution statistics and the modelled timing.
+//!
+//! The full cluster runtime (`enableManyCore`, stealing, balancing) lives
+//! in [`crate::runtime`]; this facade is the entry point for
+//! single-kernel experimentation, calibration and teaching.
+
+use crate::registry::KernelRegistry;
+use cashmere_des::SimTime;
+use cashmere_devsim::{ExecMode, KernelRun, SimDevice};
+use cashmere_mcl::value::ArgValue;
+use std::fmt;
+
+/// Errors surfaced by the facade — the paper's "exception" that triggers
+/// the `leafCPU` fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// No version of the kernel applies to this device; carries the
+    /// "add a hardware description" suggestion.
+    NoKernel(String),
+    /// The kernel failed at run time (bad arguments, out-of-bounds, …).
+    Runtime(String),
+    /// Unknown device name.
+    NoDevice(String),
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::NoKernel(s) => write!(f, "no applicable kernel: {s}"),
+            LaunchError::Runtime(s) => write!(f, "kernel execution failed: {s}"),
+            LaunchError::NoDevice(s) => write!(f, "no such device: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A node-local Cashmere context: a kernel registry plus one device.
+pub struct Cashmere {
+    registry: KernelRegistry,
+    device: SimDevice,
+}
+
+impl fmt::Debug for Cashmere {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cashmere")
+            .field("device", &self.device.level_name)
+            .field("kernels", &self.registry.kernel_names())
+            .finish()
+    }
+}
+
+impl Cashmere {
+    /// Build a context for the device named `device` (a leaf level of the
+    /// registry's hierarchy).
+    pub fn new(registry: KernelRegistry, device: &str) -> Result<Cashmere, LaunchError> {
+        let dev = SimDevice::by_name(registry.hierarchy(), device)
+            .map_err(LaunchError::NoDevice)?;
+        Ok(Cashmere {
+            registry,
+            device: dev,
+        })
+    }
+
+    /// The device this context runs on.
+    pub fn device(&self) -> &SimDevice {
+        &self.device
+    }
+
+    /// `Cashmere.getKernel("name")` — resolves the most specific version
+    /// for this context's device. "If there are more kernels, the
+    /// `Cashmere.getKernel()` function should have a string parameter that
+    /// identifies the kernel to be loaded."
+    pub fn get_kernel(&self, name: &str) -> Result<KernelHandle<'_>, LaunchError> {
+        if self.registry.select(name, self.device.level).is_none() {
+            let mut sugg = self
+                .registry
+                .coverage_suggestions(name, &[self.device.level]);
+            return Err(LaunchError::NoKernel(sugg.pop().unwrap_or_else(|| {
+                format!("kernel `{name}` is not registered")
+            })));
+        }
+        Ok(KernelHandle {
+            cashmere: self,
+            name: name.to_string(),
+        })
+    }
+}
+
+/// The paper's `Kernel` object.
+#[derive(Debug)]
+pub struct KernelHandle<'a> {
+    cashmere: &'a Cashmere,
+    name: String,
+}
+
+impl<'a> KernelHandle<'a> {
+    /// Which hardware-description level was selected for this device.
+    pub fn selected_level(&self) -> &str {
+        let ck = self
+            .cashmere
+            .registry
+            .select(&self.name, self.cashmere.device.level)
+            .expect("checked at get_kernel");
+        self.cashmere.registry.hierarchy().name(ck.level)
+    }
+
+    /// `kernel.createLaunch()`.
+    pub fn create_launch(&self) -> KernelLaunch<'a> {
+        KernelLaunch {
+            cashmere: self.cashmere,
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// The paper's `KernelLaunch` object.
+#[derive(Debug)]
+pub struct KernelLaunch<'a> {
+    cashmere: &'a Cashmere,
+    name: String,
+}
+
+/// Outcome of `MCL.launch(...)`: computed arguments, statistics, timing.
+#[derive(Debug)]
+pub struct LaunchResult {
+    pub args: Vec<ArgValue>,
+    pub stats: cashmere_mcl::KernelStats,
+    /// Modelled kernel execution time on the device.
+    pub kernel_time: SimTime,
+    /// Modelled host→device + device→host transfer time for the arguments.
+    pub transfer_time: SimTime,
+}
+
+impl KernelLaunch<'_> {
+    /// `MCL.launch(kl, a, b, …)`: copy the data over, run the most
+    /// specific kernel version, copy the results back.
+    pub fn launch(self, args: Vec<ArgValue>) -> Result<LaunchResult, LaunchError> {
+        let bytes: u64 = args.iter().map(ArgValue::device_bytes).sum();
+        let ck = self
+            .cashmere
+            .registry
+            .select(&self.name, self.cashmere.device.level)
+            .expect("checked at get_kernel");
+        let run: KernelRun = self
+            .cashmere
+            .device
+            .run_kernel(
+                self.cashmere.registry.hierarchy(),
+                ck,
+                args,
+                ExecMode::Full,
+            )
+            .map_err(|e| LaunchError::Runtime(e.to_string()))?;
+        // Round trip over PCIe: everything in, mutated arrays back. (The
+        // cluster runtime tracks exact in/out sets; the facade is
+        // conservative.)
+        let transfer_time = self.cashmere.device.transfer_time(bytes) * 2;
+        Ok(LaunchResult {
+            args: run.args,
+            stats: run.stats,
+            kernel_time: run.time,
+            transfer_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_hwdesc::standard_hierarchy;
+    use cashmere_mcl::value::ArrayArg;
+
+    fn registry() -> KernelRegistry {
+        let mut r = KernelRegistry::new(standard_hierarchy());
+        r.register(
+            "perfect void scale2(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = a[i] * 2.0; }
+}",
+        )
+        .unwrap();
+        r.register(
+            "gpu void scale2(int n, float[n] a) {
+  foreach (int b in (n + 255) / 256 blocks) {
+    foreach (int t in 256 threads) {
+      int i = b * 256 + t;
+      if (i < n) { a[i] = a[i] * 2.0; }
+    }
+  }
+}",
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn fig4_flow_computes() {
+        // The paper's leaf(a, b) pattern, in Rust.
+        let cashmere = Cashmere::new(registry(), "gtx480").unwrap();
+        let kernel = cashmere.get_kernel("scale2").unwrap();
+        assert_eq!(kernel.selected_level(), "gpu", "most specific version");
+        let kl = kernel.create_launch();
+        let a = ArrayArg::float(&[100], (0..100).map(f64::from).collect());
+        let result = kl
+            .launch(vec![ArgValue::Int(100), ArgValue::Array(a)])
+            .unwrap();
+        let out = result.args[1].clone().array();
+        assert_eq!(out.as_f64()[21], 42.0);
+        assert!(result.kernel_time > SimTime::ZERO);
+        assert!(result.transfer_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn phi_gets_the_perfect_version() {
+        let cashmere = Cashmere::new(registry(), "xeon_phi").unwrap();
+        let kernel = cashmere.get_kernel("scale2").unwrap();
+        assert_eq!(kernel.selected_level(), "perfect");
+    }
+
+    #[test]
+    fn missing_kernel_is_the_catchable_exception() {
+        let cashmere = Cashmere::new(registry(), "gtx480").unwrap();
+        let err = cashmere.get_kernel("nonexistent").unwrap_err();
+        assert!(matches!(err, LaunchError::NoKernel(_)));
+        // The paper's fallback: the caller runs leafCPU instead.
+    }
+
+    #[test]
+    fn runtime_failure_is_catchable_too() {
+        let cashmere = Cashmere::new(registry(), "gtx480").unwrap();
+        let kl = cashmere.get_kernel("scale2").unwrap().create_launch();
+        // Wrong argument count → runtime error, not panic.
+        let err = kl.launch(vec![ArgValue::Int(100)]).unwrap_err();
+        assert!(matches!(err, LaunchError::Runtime(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let err = Cashmere::new(registry(), "rtx9090").unwrap_err();
+        assert!(matches!(err, LaunchError::NoDevice(_)));
+    }
+
+    #[test]
+    fn multiple_launches_reuse_the_kernel() {
+        // "multiple kernel-launches: it is possible to launch the kernel
+        // multiple times in succession."
+        let cashmere = Cashmere::new(registry(), "k20").unwrap();
+        let kernel = cashmere.get_kernel("scale2").unwrap();
+        let mut a = ArrayArg::float(&[8], vec![1.0; 8]);
+        for _ in 0..3 {
+            let r = kernel
+                .create_launch()
+                .launch(vec![ArgValue::Int(8), ArgValue::Array(a)])
+                .unwrap();
+            a = r.args[1].clone().array();
+        }
+        assert_eq!(a.as_f64()[0], 8.0, "2^3 after three launches");
+    }
+}

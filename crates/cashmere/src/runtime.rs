@@ -1,0 +1,446 @@
+//! The Cashmere leaf runtime: node-level jobs expand into device jobs that
+//! are balanced across the node's many-core devices with overlapping PCIe
+//! transfers and kernel executions (paper Sec. II-C, III-B).
+//!
+//! In the paper, a node-level job below the `enableManyCore()` threshold
+//! keeps dividing through the same spawnable/sync mechanism, but into
+//! *threads* that each drive one device job: copy input to the device, run
+//! the kernel, copy the output back. `MCL.launch()` blocks the managing
+//! thread, which is exactly how the model gets backpressure — a node only
+//! commits to as many node-level jobs as it has cores to manage.
+//!
+//! Here [`CashmereLeafRuntime`] implements [`LeafRuntime`]: when the
+//! cluster engine hands it a node-level leaf it
+//!
+//! 1. expands it via [`CashmereApp::device_jobs`] (typically 8 jobs);
+//! 2. for each device job picks a device with the two-phase balancer
+//!    (static speed table → measured kernel times, Sec. III-B);
+//! 3. schedules host→device copy, kernel, device→host copy on the device's
+//!    three timelines, so copies overlap with kernels automatically;
+//! 4. runs the kernel through the MCL interpreter (fully in functional
+//!    mode, sampled + cached in estimation mode) to get both the result
+//!    and the modelled kernel time;
+//! 5. falls back to the CPU leaf when no kernel version applies or device
+//!    memory is exhausted (the paper's try/catch → `leafCPU` pattern).
+
+use crate::balancer::Balancer;
+use crate::registry::{arg_shape, KernelRegistry, StatsKey};
+use cashmere_des::trace::{LaneId, SpanKind, Trace};
+use cashmere_des::SimTime;
+use cashmere_devsim::{ExecMode, SimDevice};
+use cashmere_mcl::cost::estimate_time;
+use cashmere_mcl::launch::LaunchConfig;
+use cashmere_mcl::value::ArgValue;
+use cashmere_satin::{ClusterApp, LeafPlan, LeafRuntime};
+use serde::{Deserialize, Serialize};
+
+/// Description of one kernel invocation (the paper's
+/// `Cashmere.getKernel()` / `createLaunch()` / `MCL.launch(kl, a, b)`).
+#[derive(Debug, Clone)]
+pub struct KernelCall {
+    /// Registered kernel name.
+    pub kernel: String,
+    /// Arguments, in kernel-parameter order.
+    pub args: Vec<ArgValue>,
+    /// Bytes copied host→device before launch.
+    pub h2d_bytes: u64,
+    /// Bytes copied device→host after completion.
+    pub d2h_bytes: u64,
+    /// Bytes of *resident* input shared by every job of this kernel on a
+    /// device (the paper's `Kernel.getDevice()` / `Device.copy()` feature):
+    /// allocated and transferred once per device, then reused.
+    pub resident_bytes: u64,
+    /// Extra multiplier applied to sampled statistics (for calibration
+    /// workloads whose inner dimensions were shrunk); 1.0 = none.
+    pub extra_scale: f64,
+}
+
+impl KernelCall {
+    /// Build a call with transfer sizes derived from the arguments:
+    /// everything is copied in; arrays flagged in `out_args` are copied
+    /// back.
+    pub fn from_args(kernel: impl Into<String>, args: Vec<ArgValue>, out_args: &[usize]) -> Self {
+        let h2d_bytes = args.iter().map(ArgValue::device_bytes).sum();
+        let d2h_bytes = out_args.iter().map(|&i| args[i].device_bytes()).sum();
+        KernelCall {
+            kernel: kernel.into(),
+            args,
+            h2d_bytes,
+            d2h_bytes,
+            resident_bytes: 0,
+            extra_scale: 1.0,
+        }
+    }
+}
+
+/// A Cashmere application: a [`ClusterApp`] whose leaves know how to run on
+/// many-core devices.
+pub trait CashmereApp: ClusterApp {
+    /// Expand a node-level leaf into device jobs (the paper's "sets of 8
+    /// jobs"). Must be non-empty; [`ClusterApp::combine`] must accept the
+    /// outputs of this division.
+    fn device_jobs(&self, input: &Self::Input) -> Vec<Self::Input>;
+
+    /// Describe the kernel launch for one device job.
+    fn kernel_call(&self, input: &Self::Input) -> KernelCall;
+
+    /// Build the device-job output from the post-execution arguments.
+    fn job_output(&self, input: &Self::Input, args: Vec<ArgValue>) -> Self::Output;
+
+    /// The `leafCPU` fallback: CPU time and output for one device job.
+    fn leaf_cpu(&self, input: &Self::Input) -> (SimTime, Self::Output);
+}
+
+/// Runtime knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Run kernels fully (real results) instead of sampled (estimates).
+    pub functional: bool,
+    /// CPU cost of submitting one device job (thread creation + driver).
+    pub submit_overhead: SimTime,
+    /// Device-selection policy (ablation knob; paper's Sec. III-B default).
+    pub balancer_policy: crate::balancer::Policy,
+    /// Overlap PCIe transfers with kernel execution (paper Sec. II-C3).
+    /// Disabled, everything serializes on one engine — ablation knob.
+    pub overlap: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            functional: false,
+            submit_overhead: SimTime::from_micros(20),
+            balancer_policy: crate::balancer::Policy::Scenario,
+            overlap: true,
+        }
+    }
+}
+
+/// Trace lanes of one device (mirrors the paper's Gantt queues, Fig. 16).
+#[derive(Debug, Clone, Copy)]
+struct DevLanes {
+    h2d: LaneId,
+    exec: LaneId,
+    d2h: LaneId,
+}
+
+/// One device attached to a node.
+pub struct DeviceSlot {
+    pub sim: SimDevice,
+    lanes: Option<DevLanes>,
+    /// Live allocations expiring when their job's d2h completes.
+    allocations: Vec<(SimTime, cashmere_devsim::BufferId)>,
+    /// Resident (kernel-shared) buffers already on the device, by kernel.
+    resident: std::collections::HashMap<String, cashmere_devsim::BufferId>,
+    pub jobs_run: u64,
+}
+
+/// Devices + balancer of one node.
+pub struct NodeDevices {
+    pub devices: Vec<DeviceSlot>,
+    pub balancer: Balancer,
+    /// Pending completions: (kernel, device, kernel_time, finish_time).
+    pending: Vec<(String, usize, SimTime, SimTime)>,
+}
+
+impl NodeDevices {
+    /// Report to the balancer every job that has finished by `now`.
+    fn reap(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].3 <= now {
+                let (kernel, d, t, _) = self.pending.swap_remove(i);
+                self.balancer.on_complete(&kernel, d, t);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The Cashmere leaf runtime (one per simulated cluster).
+pub struct CashmereLeafRuntime {
+    pub registry: KernelRegistry,
+    pub nodes: Vec<NodeDevices>,
+    pub config: RuntimeConfig,
+    /// Device jobs executed on devices.
+    pub kernels_run: u64,
+    /// Device jobs that fell back to the CPU.
+    pub cpu_fallbacks: u64,
+}
+
+impl CashmereLeafRuntime {
+    /// Build for a cluster where node `n` carries the devices named in
+    /// `spec[n]` (level names in the registry's hierarchy).
+    pub fn new(
+        registry: KernelRegistry,
+        spec: &[Vec<String>],
+        config: RuntimeConfig,
+    ) -> Result<CashmereLeafRuntime, String> {
+        let mut nodes = Vec::with_capacity(spec.len());
+        for names in spec {
+            if names.is_empty() {
+                return Err("every node needs at least one device".into());
+            }
+            let mut devices = Vec::new();
+            let mut speeds = Vec::new();
+            for name in names {
+                let sim = SimDevice::by_name(registry.hierarchy(), name)?;
+                speeds.push(sim.params.relative_speed);
+                devices.push(DeviceSlot {
+                    sim,
+                    lanes: None,
+                    allocations: Vec::new(),
+                    resident: std::collections::HashMap::new(),
+                    jobs_run: 0,
+                });
+            }
+            let mut balancer = Balancer::new(&speeds);
+            balancer.policy = config.balancer_policy;
+            nodes.push(NodeDevices {
+                devices,
+                balancer,
+                pending: Vec::new(),
+            });
+        }
+        Ok(CashmereLeafRuntime {
+            registry,
+            nodes,
+            config,
+            kernels_run: 0,
+            cpu_fallbacks: 0,
+        })
+    }
+
+    fn lanes_for(trace: &mut Trace, node: usize, dev_name: &str, dev_idx: usize) -> DevLanes {
+        let base = format!("n{node}.{dev_name}{dev_idx}");
+        DevLanes {
+            h2d: trace.add_lane(format!("{base}.h2d")),
+            exec: trace.add_lane(format!("{base}.exec")),
+            d2h: trace.add_lane(format!("{base}.d2h")),
+        }
+    }
+
+    /// Execute one device job: balancer choice, transfers, kernel. Returns
+    /// `(completion_time, output)`.
+    fn run_device_job<A: CashmereApp>(
+        &mut self,
+        app: &A,
+        node: usize,
+        job: &A::Input,
+        submit_at: SimTime,
+        cpu_cursor: &mut SimTime,
+        trace: &mut Trace,
+    ) -> (SimTime, A::Output) {
+        let call = app.kernel_call(job);
+        let nd = &mut self.nodes[node];
+        nd.reap(submit_at);
+
+        // Devices that actually have an applicable kernel version.
+        let allowed: Vec<bool> = nd
+            .devices
+            .iter()
+            .map(|d| self.registry.select(&call.kernel, d.sim.level).is_some())
+            .collect();
+
+        let chosen = nd.balancer.choose_among(&call.kernel, &allowed);
+        let Some(didx) = chosen else {
+            // No device can run this kernel: leafCPU fallback, serialized on
+            // the managing core.
+            self.cpu_fallbacks += 1;
+            let (cpu, out) = app.leaf_cpu(job);
+            let done = (*cpu_cursor).max(submit_at) + cpu;
+            *cpu_cursor = done;
+            return (done, out);
+        };
+
+        // Device memory for inputs and outputs. "Cashmere automatically
+        // manages the available memory on a device": under memory pressure
+        // a job waits until earlier jobs' buffers are released (their d2h
+        // finished); only a job that cannot fit even on an idle device
+        // falls back to the CPU leaf.
+        let needed = call.h2d_bytes + call.d2h_bytes;
+        let mut effective_submit = submit_at;
+        let mut resident_upload = 0u64;
+        {
+            let slot = &mut nd.devices[didx];
+            // First job of this kernel on this device uploads the resident
+            // data (kept for the rest of the run).
+            let resident_needed = if call.resident_bytes > 0
+                && !slot.resident.contains_key(&call.kernel)
+            {
+                call.resident_bytes
+            } else {
+                0
+            };
+            loop {
+                // Reclaim everything that has drained by now.
+                let mut i = 0;
+                while i < slot.allocations.len() {
+                    if slot.allocations[i].0 <= effective_submit {
+                        let (_, id) = slot.allocations.swap_remove(i);
+                        slot.sim.memory.free(id);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if slot.sim.memory.fits(needed + resident_needed) {
+                    break;
+                }
+                // Wait for the earliest in-flight job to leave the device.
+                match slot.allocations.iter().map(|(t, _)| *t).min() {
+                    Some(t) => effective_submit = effective_submit.max(t),
+                    None => {
+                        // Even an idle device cannot hold this job.
+                        self.cpu_fallbacks += 1;
+                        let (cpu, out) = app.leaf_cpu(job);
+                        let done = (*cpu_cursor).max(submit_at) + cpu;
+                        *cpu_cursor = done;
+                        return (done, out);
+                    }
+                }
+            }
+            if resident_needed > 0 {
+                let id = slot
+                    .sim
+                    .memory
+                    .alloc(resident_needed)
+                    .expect("checked fit above");
+                slot.resident.insert(call.kernel.clone(), id);
+                resident_upload = resident_needed;
+            }
+        }
+
+        // Interpret the kernel: fully (functional) or sampled+cached.
+        let ck = self
+            .registry
+            .select(&call.kernel, nd.devices[didx].sim.level)
+            .expect("allowed device has a version");
+        let level = ck.level;
+        let cfg = LaunchConfig::for_device(ck, self.registry.hierarchy(), nd.devices[didx].sim.level);
+        let key = StatsKey {
+            kernel: call.kernel.clone(),
+            level,
+            group_size: cfg.group_size,
+            warp_width: cfg.warp_width,
+            shape: arg_shape(&call.args),
+        };
+
+        // The cache stores *unscaled* statistics; calibration scaling is
+        // applied per call (jobs with the same shape may calibrate
+        // differently).
+        let (args_back, stats) = if !self.config.functional {
+            let mode = ExecMode::Sampled {
+                sampling: self.registry.default_sampling,
+                extra_scale: 1.0,
+            };
+            let mut stats = match self.registry.cached_stats(&key) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let run = nd.devices[didx]
+                        .sim
+                        .run_kernel(self.registry.hierarchy(), ck, call.args.clone(), mode)
+                        .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", call.kernel));
+                    self.registry.cache_stats(key.clone(), run.stats.clone());
+                    run.stats
+                }
+            };
+            if call.extra_scale != 1.0 {
+                stats.scale(call.extra_scale);
+            }
+            (call.args.clone(), stats)
+        } else {
+            let run = nd.devices[didx]
+                .sim
+                .run_kernel(self.registry.hierarchy(), ck, call.args.clone(), ExecMode::Full)
+                .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", call.kernel));
+            (run.args, run.stats)
+        };
+
+        let nd = &mut self.nodes[node];
+        let slot = &mut nd.devices[didx];
+        let cost = estimate_time(&stats, &slot.sim.params, cfg.class);
+        let kernel_time = SimTime::from_secs_f64(cost.total_s);
+
+        // Reserve memory until the job leaves the device.
+        // Timelines: h2d from submission; exec after the copy; d2h after.
+        // With overlap disabled (ablation), every phase runs on the exec
+        // engine, so transfers block kernels of other jobs.
+        let (h2d_s, h2d_e, ex_s, ex_e, dh_s, dh_e) = if self.config.overlap {
+            let (h2d_s, h2d_e) = slot
+                .sim
+                .schedule_h2d(effective_submit, call.h2d_bytes + resident_upload);
+            let (ex_s, ex_e) = slot.sim.schedule_exec(h2d_e, kernel_time);
+            let (dh_s, dh_e) = slot.sim.schedule_d2h(ex_e, call.d2h_bytes);
+            (h2d_s, h2d_e, ex_s, ex_e, dh_s, dh_e)
+        } else {
+            let h2d_time = slot.sim.transfer_time(call.h2d_bytes + resident_upload);
+            let d2h_time = slot.sim.transfer_time(call.d2h_bytes);
+            let (h2d_s, h2d_e) = slot.sim.schedule_exec(effective_submit, h2d_time);
+            let (ex_s, ex_e) = slot.sim.schedule_exec(h2d_e, kernel_time);
+            let (dh_s, dh_e) = slot.sim.schedule_exec(ex_e, d2h_time);
+            (h2d_s, h2d_e, ex_s, ex_e, dh_s, dh_e)
+        };
+        if let Ok(id) = slot.sim.memory.alloc(needed) {
+            slot.allocations.push((dh_e, id));
+        }
+        slot.jobs_run += 1;
+        self.kernels_run += 1;
+
+        if trace.enabled() {
+            let lanes = match slot.lanes {
+                Some(l) => l,
+                None => {
+                    let l = Self::lanes_for(trace, node, &slot.sim.level_name, didx);
+                    slot.lanes = Some(l);
+                    l
+                }
+            };
+            trace.record(lanes.h2d, SpanKind::CopyToDevice, call.kernel.clone(), h2d_s, h2d_e);
+            trace.record(lanes.exec, SpanKind::Kernel, call.kernel.clone(), ex_s, ex_e);
+            trace.record(lanes.d2h, SpanKind::CopyFromDevice, call.kernel.clone(), dh_s, dh_e);
+        }
+
+        nd.balancer.on_submit(didx);
+        nd.pending
+            .push((call.kernel.clone(), didx, kernel_time, dh_e));
+
+        (dh_e, app.job_output(job, args_back))
+    }
+}
+
+impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
+    fn plan(
+        &mut self,
+        app: &A,
+        node: usize,
+        input: &A::Input,
+        now: SimTime,
+        trace: &mut Trace,
+        _cpu_lane: LaneId,
+    ) -> LeafPlan<A::Output> {
+        let jobs = app.device_jobs(input);
+        assert!(!jobs.is_empty(), "device_jobs must be non-empty");
+        let mut submit = now;
+        let mut done = now;
+        let mut cpu_cursor = now;
+        let mut outputs = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            submit += self.config.submit_overhead;
+            let (d, out) = self.run_device_job(app, node, job, submit, &mut cpu_cursor, trace);
+            done = done.max(d);
+            outputs.push(out);
+        }
+        let output = if jobs.len() == 1 {
+            outputs.pop().expect("one output")
+        } else {
+            app.combine(input, outputs)
+        };
+        // The managing core blocks until the last device job returns
+        // (MCL.launch() is blocking), giving natural backpressure.
+        LeafPlan::Cpu {
+            compute: done - now,
+            output,
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The event-driven simulation engine.
+//!
+//! Events are boxed `FnOnce(&mut W, &mut Sim<W>)` closures over a user-defined
+//! world type `W`. The engine pops events in `(time, sequence)` order, so two
+//! events scheduled for the same instant fire in the order they were
+//! scheduled — this is what makes runs deterministic.
+
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// An event callback: runs at its scheduled time with access to the world and
+/// the engine (to schedule follow-ups).
+pub type Event<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: Event<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// `W` is the user-defined world; the engine never inspects it, it only
+/// threads `&mut W` through event callbacks. The engine also carries the
+/// activity [`Trace`] so that event code anywhere in the stack can record
+/// Gantt spans without extra plumbing.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    events_fired: u64,
+    /// Activity trace (Gantt spans, see [`crate::trace`]).
+    pub trace: Trace,
+    seed: u64,
+}
+
+impl<W> Sim<W> {
+    /// Create an engine. `seed` is the master seed from which all component
+    /// RNG streams are derived (see [`crate::rng::StreamRng`]).
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            events_fired: 0,
+            trace: Trace::new(),
+            seed,
+        }
+    }
+
+    /// The master seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
+    /// Number of events currently pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Panics if `at` is in the past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            f: Box::new(f),
+        });
+        EventHandle(seq)
+    }
+
+    /// Schedule `f` after a delay from now.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule `f` to run at the current time, after all events already
+    /// scheduled for the current time.
+    pub fn schedule_now<F>(&mut self, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event had not fired yet.
+    pub fn cancel(&mut self, h: EventHandle) -> bool {
+        if h.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(h.0)
+    }
+
+    /// Execute the single next event, if any. Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.events_fired += 1;
+            (ev.f)(world, self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until the event queue is empty or virtual time would exceed
+    /// `until`. Events scheduled exactly at `until` are executed.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= until => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled events from the top so peek is accurate.
+        while let Some(top) = self.queue.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let ev = self.queue.pop().expect("peeked event vanished");
+                self.cancelled.remove(&ev.seq);
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(1);
+        let mut world = Vec::new();
+        sim.schedule_at(SimTime::from_nanos(30), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_nanos(20), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(1);
+        let mut world = Vec::new();
+        for i in 0..100u32 {
+            sim.schedule_at(SimTime::from_nanos(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let mut world = 0u64;
+        // A chain of 1000 events, each scheduling the next.
+        fn chain(w: &mut u64, sim: &mut Sim<u64>) {
+            *w += 1;
+            if *w < 1000 {
+                sim.schedule_in(SimTime::from_nanos(1), chain);
+            }
+        }
+        sim.schedule_now(chain);
+        sim.run(&mut world);
+        assert_eq!(world, 1000);
+        assert_eq!(sim.now(), SimTime::from_nanos(999));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let mut world = 0;
+        let h = sim.schedule_at(SimTime::from_nanos(10), |w: &mut u32, _| *w += 1);
+        sim.schedule_at(SimTime::from_nanos(20), |w: &mut u32, _| *w += 10);
+        assert!(sim.cancel(h));
+        assert!(!sim.cancel(h), "double-cancel reports false");
+        sim.run(&mut world);
+        assert_eq!(world, 10);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        assert!(!sim.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim: Sim<Vec<u64>> = Sim::new(1);
+        let mut world = Vec::new();
+        for t in [5u64, 10, 15, 20] {
+            sim.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        sim.run_until(&mut world, SimTime::from_nanos(15));
+        assert_eq!(world, vec![5, 10, 15]);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut world);
+        assert_eq!(world, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let h = sim.schedule_at(SimTime::from_nanos(10), |_, _| {});
+        sim.schedule_at(SimTime::from_nanos(20), |_, _| {});
+        sim.cancel(h);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let mut world = 0;
+        sim.schedule_at(SimTime::from_nanos(10), |_, sim: &mut Sim<u32>| {
+            sim.schedule_at(SimTime::from_nanos(5), |_, _| {});
+        });
+        sim.run(&mut world);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run_once() -> (u64, SimTime) {
+            let mut sim: Sim<u64> = Sim::new(7);
+            let mut world = 0u64;
+            for i in 0..50u64 {
+                sim.schedule_at(SimTime::from_nanos(i % 7), move |w: &mut u64, s: &mut Sim<u64>| {
+                    *w = w.wrapping_mul(31).wrapping_add(i);
+                    s.schedule_in(SimTime::from_nanos(i), move |w: &mut u64, _| {
+                        *w = w.wrapping_add(i * i);
+                    });
+                });
+            }
+            sim.run(&mut world);
+            (world, sim.now())
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,189 @@
+//! A FIFO multi-server resource for the event model.
+//!
+//! Models a pool of `capacity` identical servers (e.g. the CPU cores of a
+//! cluster node, or the DMA engines of a GPU). Acquirers that cannot be
+//! served immediately wait in FIFO order; completing work releases a server
+//! to the next waiter. The resource lives inside the user's world type and
+//! receives `&mut Sim<W>` to schedule continuations.
+
+use crate::engine::{Event, Sim};
+use crate::stats::{Counter, TimeWeighted};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A FIFO resource with `capacity` servers.
+pub struct Resource<W> {
+    name: String,
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<(SimTime, Event<W>)>,
+    /// Total acquisitions granted.
+    pub acquisitions: Counter,
+    /// Total time spent waiting across all acquirers (ns).
+    pub total_wait: SimTime,
+    utilization: TimeWeighted,
+}
+
+impl<W> std::fmt::Debug for Resource<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resource")
+            .field("name", &self.name)
+            .field("capacity", &self.capacity)
+            .field("in_use", &self.in_use)
+            .field("waiting", &self.waiters.len())
+            .finish()
+    }
+}
+
+impl<W: 'static> Resource<W> {
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "resource needs at least one server");
+        Resource {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+            acquisitions: Counter::default(),
+            total_wait: SimTime::ZERO,
+            utilization: TimeWeighted::new(SimTime::ZERO, 0.0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Servers currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Acquirers currently queued.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// `true` if a server is free right now.
+    pub fn available(&self) -> bool {
+        self.in_use < self.capacity
+    }
+
+    /// Request a server; `f` runs (as a fresh event at the current time) once
+    /// one is granted. The caller must later call [`Resource::release`].
+    pub fn acquire<F>(&mut self, sim: &mut Sim<W>, f: F)
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.acquisitions.inc();
+            self.utilization.update(sim.now(), self.in_use as f64);
+            sim.schedule_now(f);
+        } else {
+            self.waiters.push_back((sim.now(), Box::new(f)));
+        }
+    }
+
+    /// Release one server. If someone is waiting the server is handed over
+    /// directly (the count stays constant); otherwise it becomes free.
+    pub fn release(&mut self, sim: &mut Sim<W>) {
+        assert!(self.in_use > 0, "release on idle resource {}", self.name);
+        if let Some((enq, f)) = self.waiters.pop_front() {
+            self.total_wait += sim.now() - enq;
+            self.acquisitions.inc();
+            sim.schedule_now(f);
+        } else {
+            self.in_use -= 1;
+            self.utilization.update(sim.now(), self.in_use as f64);
+        }
+    }
+
+    /// Mean number of busy servers over the run so far.
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        self.utilization.mean(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct World {
+        res: Option<Resource<World>>,
+        order: Vec<u32>,
+    }
+
+    /// Helper: temporarily take the resource out of the world to avoid
+    /// aliasing `&mut world.res` with the `&mut World` the callback needs.
+    fn with_res(
+        w: &mut World,
+        sim: &mut Sim<World>,
+        f: impl FnOnce(&mut Resource<World>, &mut Sim<World>),
+    ) {
+        let mut res = w.res.take().expect("resource in use");
+        f(&mut res, sim);
+        w.res = Some(res);
+    }
+
+    #[test]
+    fn fifo_granting_with_capacity_two() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut world = World {
+            res: Some(Resource::new("cores", 2)),
+            order: Vec::new(),
+        };
+        // Five tasks, each holds a server for 10ns.
+        for i in 0..5u32 {
+            sim.schedule_at(SimTime::from_nanos(u64::from(i)), move |w: &mut World, sim| {
+                with_res(w, sim, |res, sim| {
+                    res.acquire(sim, move |w: &mut World, sim| {
+                        w.order.push(i);
+                        sim.schedule_in(SimTime::from_nanos(10), move |w: &mut World, sim| {
+                            with_res(w, sim, |res, sim| res.release(sim));
+                        });
+                    });
+                });
+            });
+        }
+        sim.run(&mut world);
+        assert_eq!(world.order, vec![0, 1, 2, 3, 4], "FIFO order preserved");
+        let res = world.res.as_ref().unwrap();
+        assert_eq!(res.acquisitions.get(), 5);
+        assert_eq!(res.in_use(), 0);
+        // Tasks 0,1 start ~immediately; 2,3 wait until t=10; 4 until t=20.
+        assert!(res.total_wait > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on idle")]
+    fn release_without_acquire_panics() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut r: Resource<World> = Resource::new("x", 1);
+        r.release(&mut sim);
+    }
+
+    #[test]
+    fn availability_reflects_state() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut world = World {
+            res: Some(Resource::new("one", 1)),
+            order: Vec::new(),
+        };
+        sim.schedule_now(|w: &mut World, sim| {
+            with_res(w, sim, |res, sim| {
+                assert!(res.available());
+                res.acquire(sim, |_, _| {});
+            });
+        });
+        sim.schedule_at(SimTime::from_nanos(1), |w: &mut World, _| {
+            let res = w.res.as_ref().unwrap();
+            assert!(!res.available());
+            assert_eq!(res.in_use(), 1);
+        });
+        sim.run(&mut world);
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic random-number streams.
+//!
+//! Every randomized component (work-steal victim selection, workload
+//! generators, …) gets its own named stream derived from the master seed, so
+//! adding a component never perturbs the random sequence another component
+//! sees. ChaCha8 is used because its stream is stable across `rand` versions
+//! and platforms — plain `StdRng` makes no such promise.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// SplitMix64 step — used to whiten (seed, stream) pairs into ChaCha keys.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG stream identified by `(master_seed, stream_id)`.
+///
+/// Wraps `ChaCha8Rng` and dereferences to it via [`StreamRng::rng`].
+#[derive(Debug, Clone)]
+pub struct StreamRng {
+    inner: ChaCha8Rng,
+}
+
+impl StreamRng {
+    /// Derive a stream from the master seed and a numeric stream id.
+    pub fn new(master_seed: u64, stream_id: u64) -> Self {
+        let mut key = [0u8; 32];
+        let mut state = splitmix64(master_seed ^ splitmix64(stream_id));
+        for chunk in key.chunks_exact_mut(8) {
+            state = splitmix64(state);
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        StreamRng {
+            inner: ChaCha8Rng::from_seed(key),
+        }
+    }
+
+    /// Derive a stream from the master seed and a textual stream name.
+    pub fn named(master_seed: u64, name: &str) -> Self {
+        // FNV-1a over the name; cheap and stable.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StreamRng::new(master_seed, h)
+    }
+
+    /// Access the underlying RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.inner
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_ids_same_stream() {
+        let mut a = StreamRng::new(42, 7);
+        let mut b = StreamRng::new(42, 7);
+        for _ in 0..32 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+
+    #[test]
+    fn different_ids_different_streams() {
+        let mut a = StreamRng::new(42, 7);
+        let mut b = StreamRng::new(42, 8);
+        let va: Vec<u64> = (0..8).map(|_| a.rng().next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.rng().next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn named_streams_are_stable() {
+        let mut a = StreamRng::named(1, "steal-victims");
+        let mut b = StreamRng::named(1, "steal-victims");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        let mut c = StreamRng::named(1, "workload");
+        assert_ne!(
+            StreamRng::named(1, "steal-victims").rng().next_u64(),
+            c.rng().next_u64()
+        );
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = StreamRng::new(3, 3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Small statistics helpers used across the simulation stack.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity (queue length,
+/// number of busy cores, …). Call [`TimeWeighted::update`] whenever the value
+/// changes; the mean over `[start, now]` is then available.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `now` with initial `value`.
+    pub fn new(now: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_time: now,
+            last_value: value,
+            weighted_sum: 0.0,
+            start: now,
+            max: value,
+        }
+    }
+
+    /// Record that the value changed to `value` at time `now`.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_time, "time went backwards");
+        let dt = (now - self.last_time).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.last_time = now;
+        self.last_value = value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Maximum value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[start, now]`. Returns the current value when
+    /// no time has elapsed.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let total = (now - self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        let tail = (now - self.last_time).as_secs_f64();
+        (self.weighted_sum + self.last_value * tail) / total
+    }
+}
+
+/// Summary statistics over a set of `f64` samples.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(t(0), 0.0);
+        tw.update(t(1_000_000_000), 10.0); // value 0 for 1s
+        tw.update(t(3_000_000_000), 0.0); // value 10 for 2s
+        // mean over 4s: (0*1 + 10*2 + 0*1) / 4 = 5
+        let m = tw.mean(t(4_000_000_000));
+        assert!((m - 5.0).abs() < 1e-9, "mean = {m}");
+        assert_eq!(tw.max(), 10.0);
+        assert_eq!(tw.value(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_elapsed() {
+        let tw = TimeWeighted::new(t(5), 7.0);
+        assert_eq!(tw.mean(t(5)), 7.0);
+    }
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut s = Summary::default();
+        for x in [3.0, 1.0, 2.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        assert_eq!(Summary::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Activity tracing and Gantt-chart rendering.
+//!
+//! The paper's Figs. 16/17 show Gantt charts of a heterogeneous K-means run:
+//! lanes ("queues") per activity class per node, with narrow bars for CPU and
+//! transfer tasks and wide bars for kernel executions. This module records
+//! exactly that: spans `(lane, kind, label, start, end)` plus CSV and ASCII
+//! renderers used by the `gantt` bench harness.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Identifies a trace lane (a row of the Gantt chart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaneId(pub usize);
+
+/// Classification of an activity span; selects the glyph used in the ASCII
+/// rendering and lets the zoomed-out chart (Fig. 17) filter to kernels only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Kernel execution on a many-core device (wide bars in Fig. 16).
+    Kernel,
+    /// Host-to-device transfer over PCIe.
+    CopyToDevice,
+    /// Device-to-host transfer over PCIe.
+    CopyFromDevice,
+    /// CPU-side task (job management, combine, leaf-on-CPU).
+    CpuTask,
+    /// Network send/receive between cluster nodes.
+    Network,
+    /// Work-steal protocol activity.
+    Steal,
+    /// Anything else.
+    Other,
+}
+
+impl SpanKind {
+    /// Glyph used by the ASCII Gantt renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::Kernel => '#',
+            SpanKind::CopyToDevice => '>',
+            SpanKind::CopyFromDevice => '<',
+            SpanKind::CpuTask => '-',
+            SpanKind::Network => '~',
+            SpanKind::Steal => '*',
+            SpanKind::Other => '.',
+        }
+    }
+
+    /// Short name used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Kernel => "kernel",
+            SpanKind::CopyToDevice => "copy_to_device",
+            SpanKind::CopyFromDevice => "copy_from_device",
+            SpanKind::CpuTask => "cpu",
+            SpanKind::Network => "network",
+            SpanKind::Steal => "steal",
+            SpanKind::Other => "other",
+        }
+    }
+}
+
+/// One recorded activity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Span {
+    pub lane: LaneId,
+    pub kind: SpanKind,
+    pub label: String,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// Recorder for activity spans. Disabled by default (recording costs memory
+/// proportional to the number of activities); the Gantt harness enables it.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    lanes: Vec<String>,
+    spans: Vec<Span>,
+    enabled: bool,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Turn recording on or off. Lane registration works either way.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register a lane (a Gantt row) and get its id.
+    pub fn add_lane(&mut self, name: impl Into<String>) -> LaneId {
+        self.lanes.push(name.into());
+        LaneId(self.lanes.len() - 1)
+    }
+
+    pub fn lane_name(&self, lane: LaneId) -> &str {
+        &self.lanes[lane.0]
+    }
+
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Record a span if recording is enabled.
+    pub fn record(
+        &mut self,
+        lane: LaneId,
+        kind: SpanKind,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            lane,
+            kind,
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Latest end time over all spans (the chart's right edge).
+    pub fn horizon(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy time per lane, optionally restricted to one kind.
+    pub fn busy_time(&self, lane: LaneId, kind: Option<SpanKind>) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane && kind.is_none_or(|k| s.kind == k))
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Render the trace as CSV (`lane,kind,label,start_ns,end_ns`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("lane,kind,label,start_ns,end_ns\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                self.lanes[s.lane.0],
+                s.kind.name(),
+                s.label,
+                s.start.as_nanos(),
+                s.end.as_nanos()
+            );
+        }
+        out
+    }
+
+    /// Build a Gantt view over a time window; `kinds` of `None` keeps all.
+    pub fn gantt(&self, window: Option<(SimTime, SimTime)>, kinds: Option<&[SpanKind]>) -> Gantt {
+        let (lo, hi) = window.unwrap_or((SimTime::ZERO, self.horizon()));
+        let spans = self
+            .spans
+            .iter()
+            .filter(|s| s.end > lo && s.start < hi)
+            .filter(|s| kinds.is_none_or(|ks| ks.contains(&s.kind)))
+            .cloned()
+            .collect();
+        Gantt {
+            lanes: self.lanes.clone(),
+            spans,
+            lo,
+            hi,
+        }
+    }
+}
+
+/// A renderable Gantt chart extracted from a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct Gantt {
+    lanes: Vec<String>,
+    spans: Vec<Span>,
+    lo: SimTime,
+    hi: SimTime,
+}
+
+impl Gantt {
+    /// Render an ASCII chart `width` characters wide. Lanes with no activity
+    /// in the window are omitted. Later spans overwrite earlier ones where
+    /// they overlap in the same cell.
+    pub fn render_ascii(&self, width: usize) -> String {
+        assert!(width >= 10, "gantt width too small");
+        let total = self.hi.saturating_sub(self.lo).as_nanos().max(1);
+        let mut rows: Vec<(usize, Vec<char>)> = Vec::new();
+        for (i, _) in self.lanes.iter().enumerate() {
+            let mut row = vec![' '; width];
+            let mut any = false;
+            for s in self.spans.iter().filter(|s| s.lane.0 == i) {
+                let a = s.start.max(self.lo) - self.lo;
+                let b = s.end.min(self.hi) - self.lo;
+                let mut c0 = (a.as_nanos() as u128 * width as u128 / total as u128) as usize;
+                let mut c1 = (b.as_nanos() as u128 * width as u128 / total as u128) as usize;
+                c0 = c0.min(width - 1);
+                c1 = c1.min(width);
+                if c1 <= c0 {
+                    c1 = c0 + 1;
+                }
+                for c in row.iter_mut().take(c1).skip(c0) {
+                    *c = s.kind.glyph();
+                }
+                any = true;
+            }
+            if any {
+                rows.push((i, row));
+            }
+        }
+        let name_w = rows
+            .iter()
+            .map(|(i, _)| self.lanes[*i].len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:name_w$} |{} .. {}|",
+            "lane",
+            self.lo,
+            self.hi,
+            name_w = name_w
+        );
+        for (i, row) in &rows {
+            let _ = writeln!(
+                out,
+                "{:name_w$} |{}|",
+                self.lanes[*i],
+                row.iter().collect::<String>(),
+                name_w = name_w
+            );
+        }
+        let _ = writeln!(
+            out,
+            "legend: #=kernel >=h2d <=d2h -=cpu ~=network *=steal .=other"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new();
+        let lane = tr.add_lane("q0");
+        tr.record(lane, SpanKind::Kernel, "k", t(0), t(10));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn busy_time_sums_per_lane_and_kind() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        let b = tr.add_lane("b");
+        tr.record(a, SpanKind::Kernel, "k1", t(0), t(10));
+        tr.record(a, SpanKind::CopyToDevice, "c", t(10), t(15));
+        tr.record(b, SpanKind::Kernel, "k2", t(0), t(7));
+        assert_eq!(tr.busy_time(a, None), t(15));
+        assert_eq!(tr.busy_time(a, Some(SpanKind::Kernel)), t(10));
+        assert_eq!(tr.busy_time(b, Some(SpanKind::Kernel)), t(7));
+        assert_eq!(tr.horizon(), t(15));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("node0.q1");
+        tr.record(a, SpanKind::Network, "send", t(3), t(9));
+        let csv = tr.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("lane,kind,label,start_ns,end_ns"));
+        assert_eq!(lines.next(), Some("node0.q1,network,send,3,9"));
+    }
+
+    #[test]
+    fn gantt_filters_kinds_and_window() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        tr.record(a, SpanKind::Kernel, "k", t(0), t(50));
+        tr.record(a, SpanKind::CpuTask, "c", t(50), t(100));
+        let g = tr.gantt(Some((t(0), t(100))), Some(&[SpanKind::Kernel]));
+        assert_eq!(g.spans.len(), 1);
+        let g2 = tr.gantt(Some((t(60), t(100))), None);
+        assert_eq!(g2.spans.len(), 1, "window excludes the kernel span");
+    }
+
+    #[test]
+    fn ascii_render_shows_glyphs() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("q0");
+        let b = tr.add_lane("q1");
+        tr.record(a, SpanKind::Kernel, "k", t(0), t(50));
+        tr.record(b, SpanKind::CopyToDevice, "c", t(50), t(100));
+        let s = tr.gantt(None, None).render_ascii(40);
+        assert!(s.contains('#'));
+        assert!(s.contains('>'));
+        assert!(s.contains("q0"));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn empty_lanes_are_omitted_from_render() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let _quiet = tr.add_lane("quiet");
+        let busy = tr.add_lane("busy");
+        tr.record(busy, SpanKind::Kernel, "k", t(0), t(10));
+        let s = tr.gantt(None, None).render_ascii(20);
+        assert!(!s.contains("quiet"));
+        assert!(s.contains("busy"));
+    }
+
+    #[test]
+    fn tiny_span_still_renders_one_cell() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        tr.record(a, SpanKind::Steal, "s", t(500), t(501));
+        tr.record(a, SpanKind::Kernel, "k", t(0), t(1_000_000));
+        let s = tr.gantt(None, None).render_ascii(50);
+        assert!(s.contains('*') || s.contains('#'));
+    }
+}

@@ -1,0 +1,262 @@
+//! Hardware parameters attached to a level of the hierarchy.
+//!
+//! Inner levels specify only what they know (`gpu` knows there are blocks and
+//! threads and a local memory, but not how many compute units); leaf levels
+//! are fully specified. [`HwParams`] therefore keeps every field optional and
+//! [`HwParams::merge_from_parent`] implements inheritance: a child keeps its
+//! own setting and falls back to the parent's.
+
+use serde::{Deserialize, Serialize};
+
+/// One unit of the parallelism hierarchy a level exposes to kernels, ordered
+/// outer → inner (e.g. `blocks` then `threads` on GPUs). `max = None` means
+/// unbounded (the `perfect` level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParUnit {
+    pub name: String,
+    pub max: Option<u64>,
+}
+
+/// A memory space visible to kernels at some level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSpace {
+    pub name: String,
+    /// Sustained bandwidth in GB/s; `None` = idealized (no bandwidth limit).
+    pub bandwidth_gbs: Option<f64>,
+    /// Access latency in device cycles; `None` = idealized (1 cycle).
+    pub latency_cycles: Option<u64>,
+    /// Capacity in KiB (for scratch/local memories); `None` = unlimited.
+    pub size_kb: Option<u64>,
+}
+
+/// Hardware parameters of a level. All fields optional so that inner levels
+/// can be partial; [`HwParams::resolve`] checks that a leaf device ended up
+/// fully specified.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HwParams {
+    /// Number of compute units (SMs / CUs / cores).
+    pub compute_units: Option<u32>,
+    /// SIMD lanes per compute unit (warp width, wavefront width, vector width).
+    pub simd_width: Option<u32>,
+    /// Core clock in GHz.
+    pub clock_ghz: Option<f64>,
+    /// Single-precision FLOPs per lane per cycle (2 with FMA).
+    pub flops_per_lane_per_cycle: Option<f64>,
+    /// Sustained global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: Option<f64>,
+    /// Scratch ("local"/"shared") memory per compute unit in KiB.
+    pub shared_mem_kb: Option<u64>,
+    /// Host↔device bandwidth in GB/s (PCI Express).
+    pub pcie_gbs: Option<f64>,
+    /// Host↔device transfer setup latency in microseconds.
+    pub pcie_latency_us: Option<f64>,
+    /// Entry in Cashmere's static relative-speed table (paper Sec. III-B:
+    /// "a K20 GPU has speed 40 and a GTX480 speed 20").
+    pub relative_speed: Option<f64>,
+    /// Maximum resident threads per compute unit (occupancy bound).
+    pub max_threads_per_unit: Option<u32>,
+    /// Parallelism hierarchy exposed to kernels, outer → inner.
+    pub par_units: Vec<ParUnit>,
+    /// Memory spaces visible to kernels.
+    pub mem_spaces: Vec<MemSpace>,
+}
+
+/// Fully resolved parameters of a leaf device: every relevant field present.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedParams {
+    pub compute_units: u32,
+    pub simd_width: u32,
+    pub clock_ghz: f64,
+    pub flops_per_lane_per_cycle: f64,
+    pub mem_bandwidth_gbs: f64,
+    pub shared_mem_kb: u64,
+    pub pcie_gbs: f64,
+    pub pcie_latency_us: f64,
+    pub relative_speed: f64,
+    pub max_threads_per_unit: u32,
+    pub par_units: Vec<ParUnit>,
+    pub mem_spaces: Vec<MemSpace>,
+}
+
+impl ResolvedParams {
+    /// Theoretical peak single-precision GFLOPS.
+    pub fn peak_sp_gflops(&self) -> f64 {
+        f64::from(self.compute_units)
+            * f64::from(self.simd_width)
+            * self.flops_per_lane_per_cycle
+            * self.clock_ghz
+    }
+
+    /// Total hardware lanes.
+    pub fn total_lanes(&self) -> u64 {
+        u64::from(self.compute_units) * u64::from(self.simd_width)
+    }
+}
+
+impl HwParams {
+    /// Inheritance: keep own fields, fall back to the parent's. Lists
+    /// (par units, memory spaces) are replaced wholesale when the child
+    /// defines any, since a lower level redefines the programming
+    /// abstractions rather than appending to them.
+    pub fn merge_from_parent(&self, parent: &HwParams) -> HwParams {
+        HwParams {
+            compute_units: self.compute_units.or(parent.compute_units),
+            simd_width: self.simd_width.or(parent.simd_width),
+            clock_ghz: self.clock_ghz.or(parent.clock_ghz),
+            flops_per_lane_per_cycle: self
+                .flops_per_lane_per_cycle
+                .or(parent.flops_per_lane_per_cycle),
+            mem_bandwidth_gbs: self.mem_bandwidth_gbs.or(parent.mem_bandwidth_gbs),
+            shared_mem_kb: self.shared_mem_kb.or(parent.shared_mem_kb),
+            pcie_gbs: self.pcie_gbs.or(parent.pcie_gbs),
+            pcie_latency_us: self.pcie_latency_us.or(parent.pcie_latency_us),
+            relative_speed: self.relative_speed.or(parent.relative_speed),
+            max_threads_per_unit: self.max_threads_per_unit.or(parent.max_threads_per_unit),
+            par_units: if self.par_units.is_empty() {
+                parent.par_units.clone()
+            } else {
+                self.par_units.clone()
+            },
+            mem_spaces: if self.mem_spaces.is_empty() {
+                parent.mem_spaces.clone()
+            } else {
+                self.mem_spaces.clone()
+            },
+        }
+    }
+
+    /// Check full specification (leaf device) and produce [`ResolvedParams`].
+    pub fn resolve(&self, level_name: &str) -> Result<ResolvedParams, String> {
+        let missing = |f: &str| format!("level `{level_name}`: missing device parameter `{f}`");
+        Ok(ResolvedParams {
+            compute_units: self.compute_units.ok_or_else(|| missing("compute_units"))?,
+            simd_width: self.simd_width.ok_or_else(|| missing("simd_width"))?,
+            clock_ghz: self.clock_ghz.ok_or_else(|| missing("clock_ghz"))?,
+            flops_per_lane_per_cycle: self
+                .flops_per_lane_per_cycle
+                .ok_or_else(|| missing("flops_per_lane_per_cycle"))?,
+            mem_bandwidth_gbs: self
+                .mem_bandwidth_gbs
+                .ok_or_else(|| missing("mem_bandwidth_gbs"))?,
+            shared_mem_kb: self.shared_mem_kb.ok_or_else(|| missing("shared_mem_kb"))?,
+            pcie_gbs: self.pcie_gbs.ok_or_else(|| missing("pcie_gbs"))?,
+            pcie_latency_us: self
+                .pcie_latency_us
+                .ok_or_else(|| missing("pcie_latency_us"))?,
+            relative_speed: self
+                .relative_speed
+                .ok_or_else(|| missing("relative_speed"))?,
+            max_threads_per_unit: self
+                .max_threads_per_unit
+                .ok_or_else(|| missing("max_threads_per_unit"))?,
+            par_units: self.par_units.clone(),
+            mem_spaces: self.mem_spaces.clone(),
+        })
+    }
+
+    /// Find a memory space by name.
+    pub fn mem_space(&self, name: &str) -> Option<&MemSpace> {
+        self.mem_spaces.iter().find(|m| m.name == name)
+    }
+
+    /// Find a parallelism unit by name.
+    pub fn par_unit(&self, name: &str) -> Option<&ParUnit> {
+        self.par_units.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_level() -> HwParams {
+        HwParams {
+            flops_per_lane_per_cycle: Some(2.0),
+            pcie_gbs: Some(8.0),
+            pcie_latency_us: Some(10.0),
+            par_units: vec![
+                ParUnit {
+                    name: "blocks".into(),
+                    max: None,
+                },
+                ParUnit {
+                    name: "threads".into(),
+                    max: Some(1024),
+                },
+            ],
+            mem_spaces: vec![MemSpace {
+                name: "global".into(),
+                bandwidth_gbs: None,
+                latency_cycles: Some(400),
+                size_kb: None,
+            }],
+            ..HwParams::default()
+        }
+    }
+
+    #[test]
+    fn merge_prefers_child() {
+        let parent = gpu_level();
+        let child = HwParams {
+            compute_units: Some(15),
+            simd_width: Some(32),
+            pcie_gbs: Some(6.0),
+            ..HwParams::default()
+        };
+        let merged = child.merge_from_parent(&parent);
+        assert_eq!(merged.compute_units, Some(15));
+        assert_eq!(merged.pcie_gbs, Some(6.0), "child overrides parent");
+        assert_eq!(merged.flops_per_lane_per_cycle, Some(2.0), "inherited");
+        assert_eq!(merged.par_units.len(), 2, "lists inherited when empty");
+    }
+
+    #[test]
+    fn merge_replaces_lists_wholesale() {
+        let parent = gpu_level();
+        let child = HwParams {
+            par_units: vec![ParUnit {
+                name: "cores".into(),
+                max: Some(60),
+            }],
+            ..HwParams::default()
+        };
+        let merged = child.merge_from_parent(&parent);
+        assert_eq!(merged.par_units.len(), 1);
+        assert_eq!(merged.par_units[0].name, "cores");
+    }
+
+    #[test]
+    fn resolve_reports_missing_field() {
+        let err = gpu_level().resolve("gpu").unwrap_err();
+        assert!(err.contains("compute_units"), "err = {err}");
+    }
+
+    #[test]
+    fn resolved_peak_flops() {
+        let p = ResolvedParams {
+            compute_units: 15,
+            simd_width: 32,
+            clock_ghz: 1.401,
+            flops_per_lane_per_cycle: 2.0,
+            mem_bandwidth_gbs: 177.4,
+            shared_mem_kb: 48,
+            pcie_gbs: 8.0,
+            pcie_latency_us: 10.0,
+            relative_speed: 20.0,
+            max_threads_per_unit: 1536,
+            par_units: vec![],
+            mem_spaces: vec![],
+        };
+        // GTX480: 15 SM × 32 lanes × 2 flops × 1.401 GHz ≈ 1345 GFLOPS
+        assert!((p.peak_sp_gflops() - 1344.96).abs() < 0.1);
+        assert_eq!(p.total_lanes(), 480);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let g = gpu_level();
+        assert!(g.mem_space("global").is_some());
+        assert!(g.mem_space("texture").is_none());
+        assert_eq!(g.par_unit("threads").unwrap().max, Some(1024));
+    }
+}

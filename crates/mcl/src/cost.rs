@@ -1,0 +1,297 @@
+//! Roofline cost model: interpreter statistics + device parameters →
+//! estimated kernel execution time.
+//!
+//! The model mirrors how the paper's devices actually behave:
+//!
+//! * **compute time** — the interpreter counts cost-weighted vector-issue
+//!   cycles per warp; a device retires `total_lanes / warp_width` warps per
+//!   clock, so compute time is `issue_cycles × warp_width / (lanes × clock)`.
+//!   Divergence and partial warps are already inside `issue_cycles` (masked
+//!   lanes still consume issue slots).
+//! * **memory time** — coalescing-aware transaction bytes over sustained
+//!   bandwidth (85 % of peak, the usual achievable fraction).
+//! * **scheduling overhead** — each work-group costs a class-dependent
+//!   number of cycles; the Xeon Phi's high per-group cost is why it "needs
+//!   more coarse-grained parallelism than a GPU" (paper Sec. III-A).
+//! * **MIC scalar fallback** — kernels whose access pattern or control flow
+//!   defeats the vectorizer run on one lane per core instead of sixteen.
+//!
+//! The total is `max(compute + scheduling, memory) + launch latency`.
+
+use crate::stats::KernelStats;
+use cashmere_hwdesc::params::ResolvedParams;
+use cashmere_hwdesc::{Hierarchy, LevelId};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of peak memory bandwidth sustained in practice.
+const ACHIEVABLE_BW: f64 = 0.85;
+
+/// Broad device class; decides warp width and overhead constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// NVIDIA GPUs (warp 32).
+    NvidiaGpu,
+    /// AMD GPUs (wavefront 64).
+    AmdGpu,
+    /// Intel MIC / Xeon Phi (vector width 16, strict vectorizer).
+    Mic,
+    /// Host CPU (SSE width 4).
+    Cpu,
+}
+
+impl DeviceClass {
+    /// Classify a leaf device by its ancestry in the hierarchy.
+    pub fn of(h: &Hierarchy, device: LevelId) -> DeviceClass {
+        let path: Vec<&str> = h.root_path(device).iter().map(|l| h.name(*l)).collect();
+        if path.contains(&"mic") {
+            DeviceClass::Mic
+        } else if path.contains(&"amd") {
+            DeviceClass::AmdGpu
+        } else if path.contains(&"gpu") {
+            DeviceClass::NvidiaGpu
+        } else {
+            DeviceClass::Cpu
+        }
+    }
+
+    /// SIMT/SIMD width used for divergence and coalescing accounting.
+    pub fn warp_width(self) -> usize {
+        match self {
+            DeviceClass::NvidiaGpu => 32,
+            DeviceClass::AmdGpu => 64,
+            DeviceClass::Mic => 16,
+            DeviceClass::Cpu => 4,
+        }
+    }
+
+    /// Scheduling cost per work-group, in device cycles.
+    pub fn group_overhead_cycles(self) -> f64 {
+        match self {
+            DeviceClass::NvidiaGpu | DeviceClass::AmdGpu => 300.0,
+            // The Phi schedules work-groups onto heavyweight threads; small
+            // groups are punished hard.
+            DeviceClass::Mic => 12_000.0,
+            DeviceClass::Cpu => 400.0,
+        }
+    }
+
+    /// Fixed kernel-launch latency in microseconds.
+    pub fn launch_overhead_us(self) -> f64 {
+        match self {
+            DeviceClass::NvidiaGpu | DeviceClass::AmdGpu => 6.0,
+            DeviceClass::Mic => 40.0,
+            DeviceClass::Cpu => 1.0,
+        }
+    }
+
+    /// Does this class rely on compiler auto-vectorization (and fall back to
+    /// scalar code when it fails)?
+    pub fn strict_vectorizer(self) -> bool {
+        matches!(self, DeviceClass::Mic | DeviceClass::Cpu)
+    }
+}
+
+/// Time estimate with its components, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    pub compute_s: f64,
+    pub memory_s: f64,
+    pub scheduling_s: f64,
+    pub launch_s: f64,
+    pub total_s: f64,
+    /// Whether the MIC/CPU vectorizer succeeded.
+    pub vectorized: bool,
+}
+
+impl CostBreakdown {
+    /// Model GFLOPS for a given algorithmic flop count.
+    pub fn gflops(&self, flops: f64) -> f64 {
+        flops / self.total_s / 1e9
+    }
+
+    /// Is the kernel memory-bound under this model?
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s + self.scheduling_s
+    }
+}
+
+/// Estimate execution time of a kernel whose sampled statistics are `stats`
+/// on a device with parameters `params` of class `class`.
+///
+/// `stats` must have been collected with `simd_width == class.warp_width()`.
+pub fn estimate_time(stats: &KernelStats, params: &ResolvedParams, class: DeviceClass) -> CostBreakdown {
+    let warp = class.warp_width() as f64;
+    let clock_hz = params.clock_ghz * 1e9;
+    let total_lanes = params.total_lanes() as f64;
+
+    let vectorized = !class.strict_vectorizer() || stats.vectorizable();
+    let effective_lanes = if vectorized {
+        total_lanes
+    } else {
+        // Scalar fallback: one lane per compute unit.
+        f64::from(params.compute_units)
+    };
+
+    // Warp-issue cycles → lane-cycles → seconds across the whole device.
+    let lane_cycles = stats.issue_cycles * warp;
+    let mut compute_s = lane_cycles / (effective_lanes * clock_hz);
+
+    // Under-occupancy: fewer groups than compute units leaves units idle.
+    let units = f64::from(params.compute_units);
+    if stats.groups > 0.0 && stats.groups < units {
+        compute_s *= units / stats.groups.max(1.0);
+    }
+
+    let scheduling_s = stats.groups * class.group_overhead_cycles() / (units * clock_hz);
+    let memory_s = stats.global_bytes / (params.mem_bandwidth_gbs * 1e9 * ACHIEVABLE_BW);
+    let launch_s = class.launch_overhead_us() * 1e-6;
+    let total_s = (compute_s + scheduling_s).max(memory_s) + launch_s;
+
+    CostBreakdown {
+        compute_s,
+        memory_s,
+        scheduling_s,
+        launch_s,
+        total_s,
+        vectorized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_hwdesc::{standard_hierarchy, DeviceKind};
+
+    fn gtx480() -> ResolvedParams {
+        let h = standard_hierarchy();
+        h.device_params(DeviceKind::Gtx480.level(&h)).unwrap()
+    }
+
+    fn phi() -> ResolvedParams {
+        let h = standard_hierarchy();
+        h.device_params(DeviceKind::XeonPhi.level(&h)).unwrap()
+    }
+
+    /// A compute-heavy, fully coalesced, convergent stats record.
+    fn compute_stats(issue_cycles: f64, groups: f64) -> KernelStats {
+        KernelStats {
+            total_threads: 1e6,
+            raw_lanes: 1024.0,
+            groups,
+            issue_cycles,
+            flops: issue_cycles * 32.0 * 2.0,
+            global_bytes: 1e3,
+            ideal_global_bytes: 1e3,
+            issue_slots: issue_cycles * 32.0,
+            active_slots: issue_cycles * 32.0,
+            ..KernelStats::default()
+        }
+    }
+
+    #[test]
+    fn classes_resolve_from_hierarchy() {
+        let h = standard_hierarchy();
+        assert_eq!(
+            DeviceClass::of(&h, DeviceKind::Gtx480.level(&h)),
+            DeviceClass::NvidiaGpu
+        );
+        assert_eq!(
+            DeviceClass::of(&h, DeviceKind::Hd7970.level(&h)),
+            DeviceClass::AmdGpu
+        );
+        assert_eq!(
+            DeviceClass::of(&h, DeviceKind::XeonPhi.level(&h)),
+            DeviceClass::Mic
+        );
+        assert_eq!(
+            DeviceClass::of(&h, h.id("host_cpu").unwrap()),
+            DeviceClass::Cpu
+        );
+    }
+
+    #[test]
+    fn compute_bound_scales_with_issue_cycles() {
+        let p = gtx480();
+        let a = estimate_time(&compute_stats(1e7, 1000.0), &p, DeviceClass::NvidiaGpu);
+        let b = estimate_time(&compute_stats(2e7, 1000.0), &p, DeviceClass::NvidiaGpu);
+        assert!(!a.memory_bound());
+        let ratio = b.compute_s / a.compute_s;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_when_bytes_dominate() {
+        let p = gtx480();
+        let mut s = compute_stats(1e4, 1000.0);
+        s.global_bytes = 1e10; // 10 GB of traffic
+        let c = estimate_time(&s, &p, DeviceClass::NvidiaGpu);
+        assert!(c.memory_bound());
+        // 10 GB over ~150 GB/s ≈ 66 ms
+        assert!(c.total_s > 0.05 && c.total_s < 0.1, "{}", c.total_s);
+    }
+
+    #[test]
+    fn efficiency_cannot_exceed_peak() {
+        // Even a perfect kernel (2 flops per issue per lane = pure FMA)
+        // cannot beat the device's theoretical peak.
+        let p = gtx480();
+        let s = compute_stats(1e8, 1e5);
+        let c = estimate_time(&s, &p, DeviceClass::NvidiaGpu);
+        let gflops = c.gflops(s.flops);
+        assert!(
+            gflops <= p.peak_sp_gflops() * 1.01,
+            "model {gflops:.0} vs peak {:.0}",
+            p.peak_sp_gflops()
+        );
+        assert!(gflops > p.peak_sp_gflops() * 0.5, "model {gflops:.0}");
+    }
+
+    #[test]
+    fn mic_scalar_fallback_is_much_slower() {
+        let p = phi();
+        let mut good = compute_stats(1e7, 240.0);
+        let mut bad = compute_stats(1e7, 240.0);
+        // make `bad` non-vectorizable via heavy divergence
+        bad.branch_events = 100.0;
+        bad.divergent_branches = 50.0;
+        good.branch_events = 100.0;
+        good.divergent_branches = 0.0;
+        let cg = estimate_time(&good, &p, DeviceClass::Mic);
+        let cb = estimate_time(&bad, &p, DeviceClass::Mic);
+        assert!(cg.vectorized);
+        assert!(!cb.vectorized);
+        let slowdown = cb.compute_s / cg.compute_s;
+        assert!((slowdown - 16.0).abs() < 0.5, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn fine_grained_groups_hurt_mic_more_than_gpu() {
+        let p_gpu = gtx480();
+        let p_phi = phi();
+        // Many smallish groups on a compute-heavy kernel.
+        let s = compute_stats(1e9, 1e6);
+        let gpu = estimate_time(&s, &p_gpu, DeviceClass::NvidiaGpu);
+        let mic = estimate_time(&s, &p_phi, DeviceClass::Mic);
+        let gpu_sched_frac = gpu.scheduling_s / gpu.total_s;
+        let mic_sched_frac = mic.scheduling_s / mic.total_s;
+        assert!(
+            mic_sched_frac > gpu_sched_frac * 3.0,
+            "mic {mic_sched_frac:.3} vs gpu {gpu_sched_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn under_occupancy_penalized() {
+        let p = gtx480(); // 15 compute units
+        let few = estimate_time(&compute_stats(1e7, 3.0), &p, DeviceClass::NvidiaGpu);
+        let many = estimate_time(&compute_stats(1e7, 150.0), &p, DeviceClass::NvidiaGpu);
+        assert!(few.compute_s > many.compute_s * 4.0);
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let p = gtx480();
+        let c = estimate_time(&compute_stats(10.0, 1.0), &p, DeviceClass::NvidiaGpu);
+        assert!(c.total_s >= 6e-6);
+    }
+}

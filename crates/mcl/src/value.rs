@@ -1,0 +1,306 @@
+//! Runtime values for kernel arguments and buffers.
+//!
+//! Device buffers are conceptually 32-bit (`float`/`int` in MCPL); the
+//! interpreter computes in `f64`/`i64` for convenience and rounds through
+//! `f32` on stores so results match what 32-bit hardware would produce.
+//!
+//! A buffer is either *real* (backed by memory, used for functional runs and
+//! correctness tests) or *phantom* (shape only). Phantom buffers let the
+//! paper-scale experiments run — 32768×32768 matrices never materialize —
+//! while keeping the interpreter's control flow and access-pattern
+//! statistics intact: phantom loads return a deterministic hash of the
+//! address and phantom stores are dropped.
+
+use crate::ast::ElemTy;
+use serde::{Deserialize, Serialize};
+
+/// Backing store of an array argument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Buffer {
+    F(Vec<f64>),
+    I(Vec<i64>),
+    /// Shape-only float buffer of the given length.
+    PhantomF(u64),
+    /// Shape-only int buffer of the given length.
+    PhantomI(u64),
+}
+
+/// Deterministic pseudo-value for phantom loads: cheap integer hash of the
+/// flat address mapped into [0, 1).
+#[inline]
+fn phantom_unit(addr: u64) -> f64 {
+    let mut x = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    (x & 0xFFFF_FFFF) as f64 / 4_294_967_296.0
+}
+
+impl Buffer {
+    pub fn len(&self) -> u64 {
+        match self {
+            Buffer::F(v) => v.len() as u64,
+            Buffer::I(v) => v.len() as u64,
+            Buffer::PhantomF(n) | Buffer::PhantomI(n) => *n,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_phantom(&self) -> bool {
+        matches!(self, Buffer::PhantomF(_) | Buffer::PhantomI(_))
+    }
+
+    pub fn elem(&self) -> ElemTy {
+        match self {
+            Buffer::F(_) | Buffer::PhantomF(_) => ElemTy::Float,
+            Buffer::I(_) | Buffer::PhantomI(_) => ElemTy::Int,
+        }
+    }
+
+    /// Load as float (int buffers convert).
+    #[inline]
+    pub fn load_f(&self, addr: u64) -> f64 {
+        match self {
+            Buffer::F(v) => v[addr as usize],
+            Buffer::I(v) => v[addr as usize] as f64,
+            Buffer::PhantomF(_) => phantom_unit(addr),
+            Buffer::PhantomI(_) => (phantom_unit(addr) * 256.0).floor(),
+        }
+    }
+
+    /// Load as int (float buffers truncate).
+    #[inline]
+    pub fn load_i(&self, addr: u64) -> i64 {
+        match self {
+            Buffer::F(v) => v[addr as usize] as i64,
+            Buffer::I(v) => v[addr as usize],
+            Buffer::PhantomF(_) => (phantom_unit(addr) * 256.0) as i64,
+            Buffer::PhantomI(_) => (phantom_unit(addr) * 256.0) as i64,
+        }
+    }
+
+    /// Store a float (rounded through `f32`, matching 32-bit devices).
+    #[inline]
+    pub fn store_f(&mut self, addr: u64, v: f64) {
+        match self {
+            Buffer::F(data) => data[addr as usize] = v as f32 as f64,
+            Buffer::I(data) => data[addr as usize] = v as i64,
+            Buffer::PhantomF(_) | Buffer::PhantomI(_) => {}
+        }
+    }
+
+    #[inline]
+    pub fn store_i(&mut self, addr: u64, v: i64) {
+        match self {
+            Buffer::F(data) => data[addr as usize] = v as f64,
+            Buffer::I(data) => data[addr as usize] = v,
+            Buffer::PhantomF(_) | Buffer::PhantomI(_) => {}
+        }
+    }
+}
+
+/// An array argument: element type, dimension sizes, backing buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayArg {
+    pub dims: Vec<u64>,
+    pub data: Buffer,
+}
+
+impl ArrayArg {
+    /// Real float array from data; `dims` must multiply to `data.len()`.
+    pub fn float(dims: &[u64], data: Vec<f64>) -> ArrayArg {
+        let expect: u64 = dims.iter().product();
+        assert_eq!(expect, data.len() as u64, "dims {dims:?} vs len {}", data.len());
+        ArrayArg {
+            dims: dims.to_vec(),
+            data: Buffer::F(data),
+        }
+    }
+
+    /// Real float array from f32 data (convenience for app buffers).
+    pub fn float32(dims: &[u64], data: &[f32]) -> ArrayArg {
+        ArrayArg::float(dims, data.iter().map(|&x| f64::from(x)).collect())
+    }
+
+    pub fn int(dims: &[u64], data: Vec<i64>) -> ArrayArg {
+        let expect: u64 = dims.iter().product();
+        assert_eq!(expect, data.len() as u64);
+        ArrayArg {
+            dims: dims.to_vec(),
+            data: Buffer::I(data),
+        }
+    }
+
+    /// Phantom (shape-only) array.
+    pub fn phantom(elem: ElemTy, dims: &[u64]) -> ArrayArg {
+        let n: u64 = dims.iter().product();
+        ArrayArg {
+            dims: dims.to_vec(),
+            data: match elem {
+                ElemTy::Float => Buffer::PhantomF(n),
+                ElemTy::Int => Buffer::PhantomI(n),
+            },
+        }
+    }
+
+    /// Zero-filled real array.
+    pub fn zeros(elem: ElemTy, dims: &[u64]) -> ArrayArg {
+        let n: usize = dims.iter().product::<u64>() as usize;
+        ArrayArg {
+            dims: dims.to_vec(),
+            data: match elem {
+                ElemTy::Float => Buffer::F(vec![0.0; n]),
+                ElemTy::Int => Buffer::I(vec![0; n]),
+            },
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn len(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in device bytes (4 bytes per element).
+    pub fn device_bytes(&self) -> u64 {
+        self.len() * 4
+    }
+
+    /// Flatten a multi-dim index (row-major). Panics on out-of-bounds in
+    /// real mode; phantom mode wraps (no memory to corrupt, keeps huge
+    /// synthetic runs alive).
+    #[inline]
+    pub fn flat_index(&self, idx: &[i64]) -> u64 {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut flat: u64 = 0;
+        for (d, &i) in self.dims.iter().zip(idx) {
+            if i < 0 || (i as u64) >= *d {
+                if self.data.is_phantom() {
+                    let wrapped = (i.rem_euclid(*d as i64)) as u64;
+                    flat = flat * d + wrapped;
+                    continue;
+                }
+                panic!("index {i} out of bounds for dim {d} (dims {:?})", self.dims);
+            }
+            flat = flat * d + i as u64;
+        }
+        flat
+    }
+
+    /// Extract real float data (panics on phantom/int).
+    pub fn as_f64(&self) -> &[f64] {
+        match &self.data {
+            Buffer::F(v) => v,
+            other => panic!("expected real float buffer, got {other:?}"),
+        }
+    }
+
+    pub fn as_i64(&self) -> &[i64] {
+        match &self.data {
+            Buffer::I(v) => v,
+            other => panic!("expected real int buffer, got {other:?}"),
+        }
+    }
+}
+
+/// A kernel argument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArgValue {
+    Int(i64),
+    Float(f64),
+    Array(ArrayArg),
+}
+
+impl ArgValue {
+    pub fn array(self) -> ArrayArg {
+        match self {
+            ArgValue::Array(a) => a,
+            other => panic!("expected array argument, got {other:?}"),
+        }
+    }
+
+    /// Device bytes this argument occupies for host↔device transfer.
+    pub fn device_bytes(&self) -> u64 {
+        match self {
+            ArgValue::Int(_) | ArgValue::Float(_) => 4,
+            ArgValue::Array(a) => a.device_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_buffer_roundtrip() {
+        let mut a = ArrayArg::zeros(ElemTy::Float, &[2, 3]);
+        let i = a.flat_index(&[1, 2]);
+        assert_eq!(i, 5);
+        a.data.store_f(i, 2.5);
+        assert_eq!(a.data.load_f(i), 2.5);
+        assert_eq!(a.device_bytes(), 24);
+    }
+
+    #[test]
+    fn f32_rounding_on_store() {
+        let mut a = ArrayArg::zeros(ElemTy::Float, &[1]);
+        a.data.store_f(0, 1.000_000_000_1);
+        assert_eq!(a.data.load_f(0), f64::from(1.000_000_000_1_f32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn real_oob_panics() {
+        let a = ArrayArg::zeros(ElemTy::Float, &[4]);
+        a.flat_index(&[4]);
+    }
+
+    #[test]
+    fn phantom_loads_are_deterministic_and_writes_dropped() {
+        let mut a = ArrayArg::phantom(ElemTy::Float, &[1000]);
+        let v1 = a.data.load_f(123);
+        let v2 = a.data.load_f(123);
+        assert_eq!(v1, v2);
+        assert!((0.0..1.0).contains(&v1));
+        assert_ne!(a.data.load_f(124), v1);
+        a.data.store_f(123, 99.0);
+        assert_eq!(a.data.load_f(123), v1, "phantom stores dropped");
+    }
+
+    #[test]
+    fn phantom_oob_wraps() {
+        let a = ArrayArg::phantom(ElemTy::Float, &[10]);
+        // Does not panic; wraps deterministically.
+        assert_eq!(a.flat_index(&[12]), 2);
+        assert_eq!(a.flat_index(&[-1]), 9);
+    }
+
+    #[test]
+    fn int_buffer_conversions() {
+        let a = ArrayArg::int(&[2], vec![7, -3]);
+        assert_eq!(a.data.load_f(0), 7.0);
+        assert_eq!(a.data.load_i(1), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn dims_length_mismatch_panics() {
+        let _ = ArrayArg::float(&[2, 2], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn float32_helper() {
+        let a = ArrayArg::float32(&[2], &[1.5f32, 2.5]);
+        assert_eq!(a.as_f64(), &[1.5, 2.5]);
+    }
+}

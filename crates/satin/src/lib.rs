@@ -1,0 +1,24 @@
+//! # cashmere-satin — the Satin divide-and-conquer runtime
+//!
+//! Satin (paper Sec. II-A) is a Cilk-inspired programming system for
+//! clusters: programmers express computations as recursive `spawnable`
+//! functions with a `sync` barrier (Fig. 1), and the runtime load-balances
+//! the resulting job tree with random work stealing, hides network latency,
+//! and recovers from node failures.
+//!
+//! Two backends:
+//!
+//! * [`threads`] — a real shared-memory work-stealing pool implementing
+//!   `join` (spawn/sync in its structured binary form) on this machine's
+//!   cores; used by examples and as the intra-node execution vehicle.
+//! * [`sim`] — the simulated cluster used for every paper experiment:
+//!   nodes, cores, random work stealing over the modelled interconnect,
+//!   CPU-contention-coupled message handling, fault tolerance, and
+//!   pluggable leaf execution (plain CPU leaves here; Cashmere's many-core
+//!   leaves in the `cashmere` crate).
+
+pub mod sim;
+pub mod threads;
+
+pub use sim::{ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, LeafPlan, LeafRuntime, RunReport, SimConfig};
+pub use threads::{join, parallel_reduce, SatinPool};

@@ -1,0 +1,188 @@
+//! The divide-and-conquer application interface for the simulated cluster.
+//!
+//! An application is expressed exactly as in the paper's Fig. 1 skeleton:
+//! a `step` decides whether a job is small enough for a leaf computation or
+//! divides into child jobs; `combine` merges child results after the
+//! `sync`. Inputs/outputs carry their serialized sizes so the engine can
+//! charge the network for steals and result returns.
+//!
+//! Leaf execution is pluggable via [`LeafRuntime`]: plain Satin runs leaves
+//! on one CPU core ([`CpuLeafRuntime`]); Cashmere (in the `cashmere` crate)
+//! plans leaves onto the node's many-core devices and returns an
+//! asynchronous completion time, which is how transfer/kernel overlap and
+//! the device load balancer enter the simulation.
+
+use cashmere_des::trace::{LaneId, Trace};
+use cashmere_des::SimTime;
+
+/// Outcome of inspecting a job: divide further or run a leaf.
+#[derive(Debug, Clone)]
+pub enum DcStep<I> {
+    Divide(Vec<I>),
+    Leaf,
+}
+
+/// A divide-and-conquer application.
+pub trait ClusterApp: 'static {
+    type Input: Clone + 'static;
+    type Output: Clone + 'static;
+
+    /// Decide whether `input` divides (into child inputs) or is a leaf.
+    fn step(&self, input: &Self::Input) -> DcStep<Self::Input>;
+
+    /// Cheap classification used by the node scheduler to limit concurrent
+    /// leaf executions. Must agree with [`ClusterApp::step`].
+    fn is_leaf(&self, input: &Self::Input) -> bool {
+        matches!(self.step(input), DcStep::Leaf)
+    }
+
+    /// Combine child outputs (in child order) into this job's output.
+    fn combine(&self, input: &Self::Input, children: Vec<Self::Output>) -> Self::Output;
+
+    /// Serialized size of a job input (charged when the job is stolen).
+    fn input_bytes(&self, input: &Self::Input) -> u64;
+
+    /// Serialized size of a job output (charged when returned to the
+    /// parent's node).
+    fn output_bytes(&self, output: &Self::Output) -> u64;
+
+    /// CPU time to divide a job (spawning is cheap but not free).
+    fn divide_cost(&self, _input: &Self::Input) -> SimTime {
+        SimTime::from_micros(5)
+    }
+
+    /// CPU time to combine child outputs.
+    fn combine_cost(&self, _input: &Self::Input) -> SimTime {
+        SimTime::from_micros(5)
+    }
+}
+
+/// How a leaf executes, as planned by a [`LeafRuntime`].
+#[derive(Debug, Clone)]
+pub enum LeafPlan<O> {
+    /// Occupies one CPU core for `compute`, then completes.
+    Cpu { compute: SimTime, output: O },
+    /// Occupies one CPU core for `submit` (management thread), then
+    /// completes asynchronously at absolute time `done` (device path).
+    Async {
+        submit: SimTime,
+        done: SimTime,
+        output: O,
+    },
+}
+
+/// Pluggable leaf executor.
+pub trait LeafRuntime<A: ClusterApp>: 'static {
+    /// Plan the execution of leaf `input` on `node`, starting at `now`.
+    /// `app` gives access to application callbacks (device-level division,
+    /// kernel descriptions); `trace`/`cpu_lane` allow recording activity
+    /// spans.
+    fn plan(
+        &mut self,
+        app: &A,
+        node: usize,
+        input: &A::Input,
+        now: SimTime,
+        trace: &mut Trace,
+        cpu_lane: LaneId,
+    ) -> LeafPlan<A::Output>;
+}
+
+/// Plain Satin: every leaf is a single-threaded CPU computation.
+///
+/// The wrapped closure maps `(node, input, now)` to `(cpu_time, output)` —
+/// applications provide real computation plus a modelled duration.
+pub struct CpuLeafRuntime<F>(pub F);
+
+impl<A, F> LeafRuntime<A> for CpuLeafRuntime<F>
+where
+    A: ClusterApp,
+    F: FnMut(usize, &A::Input, SimTime) -> (SimTime, A::Output) + 'static,
+{
+    fn plan(
+        &mut self,
+        _app: &A,
+        node: usize,
+        input: &A::Input,
+        now: SimTime,
+        _trace: &mut Trace,
+        _cpu_lane: LaneId,
+    ) -> LeafPlan<A::Output> {
+        let (compute, output) = (self.0)(node, input, now);
+        LeafPlan::Cpu { compute, output }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Summing a range by divide-and-conquer — the test app used across the
+    /// engine's test suite.
+    pub struct SumApp {
+        pub grain: u64,
+    }
+
+    impl ClusterApp for SumApp {
+        type Input = (u64, u64);
+        type Output = u64;
+
+        fn step(&self, &(lo, hi): &(u64, u64)) -> DcStep<(u64, u64)> {
+            if hi - lo <= self.grain {
+                DcStep::Leaf
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                DcStep::Divide(vec![(lo, mid), (mid, hi)])
+            }
+        }
+
+        fn combine(&self, _i: &(u64, u64), children: Vec<u64>) -> u64 {
+            children.into_iter().sum()
+        }
+
+        fn input_bytes(&self, _i: &(u64, u64)) -> u64 {
+            16
+        }
+
+        fn output_bytes(&self, _o: &u64) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn sum_app_divides_and_combines() {
+        let app = SumApp { grain: 10 };
+        match app.step(&(0, 100)) {
+            DcStep::Divide(ch) => assert_eq!(ch, vec![(0, 50), (50, 100)]),
+            DcStep::Leaf => panic!("should divide"),
+        }
+        assert!(matches!(app.step(&(0, 10)), DcStep::Leaf));
+        assert_eq!(app.combine(&(0, 100), vec![3, 4]), 7);
+    }
+
+    #[test]
+    fn cpu_leaf_runtime_wraps_closure() {
+        let mut rt = CpuLeafRuntime(|_n: usize, &(lo, hi): &(u64, u64), _now: SimTime| {
+            (SimTime::from_micros(hi - lo), (lo..hi).sum::<u64>())
+        });
+        let mut trace = Trace::new();
+        let lane = trace.add_lane("cpu");
+        let app = SumApp { grain: 10 };
+        let plan = <CpuLeafRuntime<_> as LeafRuntime<SumApp>>::plan(
+            &mut rt,
+            &app,
+            0,
+            &(0, 4),
+            SimTime::ZERO,
+            &mut trace,
+            lane,
+        );
+        match plan {
+            LeafPlan::Cpu { compute, output } => {
+                assert_eq!(compute, SimTime::from_micros(4));
+                assert_eq!(output, 6);
+            }
+            LeafPlan::Async { .. } => panic!("cpu runtime must be sync"),
+        }
+    }
+}

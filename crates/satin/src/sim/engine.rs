@@ -1,0 +1,894 @@
+//! The simulated Satin cluster runtime.
+//!
+//! Implements the paper's Sec. III-B mechanics on the discrete-event
+//! engine: a master node seeds the root job, jobs divide into locally
+//! queued children (LIFO for the owner), idle nodes steal from random
+//! victims (FIFO end — the biggest jobs), stolen inputs and returned
+//! outputs are charged to the interconnect, and message handling slows
+//! down when a node's cores are all computing (the paper's explanation for
+//! Satin's own limited scaling). Node crashes re-execute lost subtrees,
+//! reproducing Satin's fault-tolerance behaviour.
+//!
+//! Leaf execution is delegated to a [`LeafRuntime`]: one CPU core for plain
+//! Satin, the Cashmere device path in the `cashmere` crate.
+
+use crate::sim::app::{ClusterApp, DcStep, LeafPlan, LeafRuntime};
+use crate::sim::report::RunReport;
+use cashmere_des::rng::StreamRng;
+use cashmere_des::trace::{LaneId, SpanKind};
+use cashmere_des::{Sim, SimTime};
+use cashmere_netsim::nic::{schedule_transfer, NodeNic};
+use cashmere_netsim::NetConfig;
+use std::collections::VecDeque;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub nodes: usize,
+    /// CPU cores per node (DAS-4: dual quad-core = 8).
+    pub cores_per_node: usize,
+    pub net: NetConfig,
+    pub seed: u64,
+    /// CPU time to create/manage one job.
+    pub job_overhead: SimTime,
+    /// Back-off after an unsuccessful steal attempt (doubles on repeated
+    /// failures up to `steal_retry_max`, resets on success or local work).
+    pub steal_retry: SimTime,
+    /// Upper bound of the steal back-off.
+    pub steal_retry_max: SimTime,
+    /// Maximum node-level leaf jobs a node executes concurrently. Plain
+    /// Satin uses one per core; Cashmere limits this to a small number so
+    /// that one set of device jobs computes while the next set's transfers
+    /// proceed (paper Sec. II-C3) and surplus node jobs stay stealable.
+    pub max_concurrent_leaves: usize,
+    /// Record Gantt spans.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 1,
+            cores_per_node: 8,
+            net: NetConfig::qdr_infiniband(),
+            seed: 42,
+            job_overhead: SimTime::from_micros(20),
+            steal_retry: SimTime::from_micros(200),
+            steal_retry_max: SimTime::from_secs(10),
+            max_concurrent_leaves: usize::MAX,
+            trace: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    /// Divided; waiting for children.
+    Waiting,
+    Done,
+    /// Discarded after a crash; superseded by a re-executed ancestor.
+    Lost,
+}
+
+struct JobRec<A: ClusterApp> {
+    input: Option<A::Input>,
+    parent: Option<(usize, usize)>,
+    /// Node where this job's record lives (its parent's combine runs here).
+    home_node: usize,
+    /// Node currently assigned to execute the job.
+    exec_node: usize,
+    state: JobState,
+    pending: usize,
+    children: Vec<usize>,
+    child_outputs: Vec<Option<A::Output>>,
+    /// Bumped on crash-reset; stale events check this.
+    generation: u64,
+}
+
+enum Task {
+    Job(usize),
+    Combine(usize),
+}
+
+struct NodeState {
+    deque: VecDeque<Task>,
+    busy_cores: usize,
+    running_leaves: usize,
+    stealing: bool,
+    steal_failures: u32,
+    /// Pending steal-retry event, cancelled when the run completes so that
+    /// trailing no-op polls do not advance the clock past the real finish.
+    retry_event: Option<cashmere_des::EventHandle>,
+    alive: bool,
+    tick_scheduled: bool,
+    cpu_lane: LaneId,
+    net_lane: LaneId,
+}
+
+/// The simulation world: nodes, jobs, application, leaf runtime.
+pub struct World<A: ClusterApp, L: LeafRuntime<A>> {
+    pub app: A,
+    pub leaf: L,
+    cfg: SimConfig,
+    nodes: Vec<NodeState>,
+    jobs: Vec<JobRec<A>>,
+    nics: Vec<NodeNic>,
+    rng: StreamRng,
+    root_job: usize,
+    root_result: Option<A::Output>,
+    done: bool,
+    pub report: RunReport,
+}
+
+impl<A: ClusterApp, L: LeafRuntime<A>> World<A, L> {
+    fn busy_fraction(&self, node: usize) -> f64 {
+        self.nodes[node].busy_cores as f64 / self.cfg.cores_per_node as f64
+    }
+
+    fn new_job(
+        &mut self,
+        input: A::Input,
+        parent: Option<(usize, usize)>,
+        home: usize,
+    ) -> usize {
+        // Records are kept for the lifetime of the simulation (inputs and
+        // outputs are dropped on completion, bookkeeping stays): iterative
+        // drivers accumulate O(jobs × iterations) small records. Fine for
+        // the paper's 2–3 iterations; a reclaiming arena is the extension
+        // point if thousand-iteration studies ever need it.
+        let id = self.jobs.len();
+        self.jobs.push(JobRec {
+            input: Some(input),
+            parent,
+            home_node: home,
+            exec_node: home,
+            state: JobState::Queued,
+            pending: 0,
+            children: Vec::new(),
+            child_outputs: Vec::new(),
+            generation: 0,
+        });
+        self.report.jobs_created += 1;
+        id
+    }
+}
+
+type S<A, L> = Sim<World<A, L>>;
+
+/// The simulated cluster: create once, then run one or more root jobs
+/// (iterative applications run one root per iteration with a broadcast in
+/// between).
+pub struct ClusterSim<A: ClusterApp, L: LeafRuntime<A>> {
+    sim: S<A, L>,
+    world: World<A, L>,
+}
+
+impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
+    pub fn new(app: A, leaf: L, cfg: SimConfig) -> Self {
+        assert!(cfg.nodes >= 1, "need at least one node");
+        assert!(cfg.cores_per_node >= 1);
+        let mut sim = Sim::new(cfg.seed);
+        sim.trace.set_enabled(cfg.trace);
+        let nodes = (0..cfg.nodes)
+            .map(|n| NodeState {
+                deque: VecDeque::new(),
+                busy_cores: 0,
+                running_leaves: 0,
+                stealing: false,
+                steal_failures: 0,
+                retry_event: None,
+                alive: true,
+                tick_scheduled: false,
+                cpu_lane: sim.trace.add_lane(format!("node{n}.cpu")),
+                net_lane: sim.trace.add_lane(format!("node{n}.net")),
+            })
+            .collect();
+        let world = World {
+            app,
+            leaf,
+            nics: vec![NodeNic::default(); cfg.nodes],
+            nodes,
+            jobs: Vec::new(),
+            rng: StreamRng::new(cfg.seed, 0x57EA1),
+            root_job: 0,
+            root_result: None,
+            done: false,
+            report: RunReport::new(cfg.nodes),
+            cfg,
+        };
+        ClusterSim { sim, world }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    pub fn report(&self) -> &RunReport {
+        &self.world.report
+    }
+
+    pub fn trace(&self) -> &cashmere_des::trace::Trace {
+        &self.sim.trace
+    }
+
+    /// Access the leaf runtime (e.g. to inspect Cashmere device state).
+    pub fn leaf_runtime(&self) -> &L {
+        &self.world.leaf
+    }
+
+    /// Schedule node `n` to crash at absolute time `at`. Must be scheduled
+    /// before the run that it should interrupt. Node 0 (the master) cannot
+    /// crash — as in Satin, the master holds the root.
+    pub fn schedule_crash(&mut self, node: usize, at: SimTime) {
+        assert!(node != 0, "the master node cannot crash in this model");
+        assert!(node < self.world.cfg.nodes);
+        self.sim.schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+            crash(w, sim, node);
+        });
+    }
+
+    /// Run one root job to completion and return its output. Virtual time
+    /// continues from where the previous call left off.
+    pub fn run_root(&mut self, input: A::Input) -> A::Output {
+        self.world.done = false;
+        self.world.root_result = None;
+        let start = self.sim.now();
+        let root = self.world.new_job(input, None, 0);
+        self.world.root_job = root;
+        self.world.nodes[0].deque.push_back(Task::Job(root));
+        for n in 0..self.world.cfg.nodes {
+            schedule_tick(&mut self.world, &mut self.sim, n);
+        }
+        self.sim.run(&mut self.world);
+        let out = self
+            .world
+            .root_result
+            .take()
+            .expect("cluster drained without producing the root result");
+        self.world.report.makespan = self.sim.now() - start;
+        self.world.report.total_time = self.sim.now();
+        out
+    }
+
+    /// Master broadcasts `bytes` to every other node (iterative apps'
+    /// inter-iteration synchronization). Advances virtual time to the last
+    /// arrival.
+    pub fn broadcast(&mut self, bytes: u64) {
+        let w = &mut self.world;
+        let now = self.sim.now();
+        let mut last = now;
+        for n in 1..w.cfg.nodes {
+            if !w.nodes[n].alive {
+                continue;
+            }
+            let (src_busy, dst_busy) = (w.busy_fraction(0), w.busy_fraction(n));
+            let (a, rest) = w.nics.split_at_mut(n);
+            let tr = schedule_transfer(
+                &w.cfg.net,
+                now,
+                &mut a[0],
+                &mut rest[0],
+                bytes,
+                src_busy,
+                dst_busy,
+            );
+            w.report.bytes_broadcast += bytes;
+            if self.sim.trace.enabled() {
+                self.sim.trace.record(
+                    w.nodes[n].net_lane,
+                    SpanKind::Network,
+                    "broadcast",
+                    tr.start,
+                    tr.arrival,
+                );
+            }
+            last = last.max(tr.arrival);
+        }
+        // Advance virtual time to the end of the broadcast.
+        if last > self.sim.now() {
+            self.sim.schedule_at(last, |_w, _s| {});
+            self.sim.run(&mut self.world);
+        }
+    }
+}
+
+fn schedule_tick<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+) {
+    if w.nodes[n].tick_scheduled || !w.nodes[n].alive {
+        return;
+    }
+    w.nodes[n].tick_scheduled = true;
+    sim.schedule_now(move |w: &mut World<A, L>, sim: &mut S<A, L>| tick(w, sim, n));
+}
+
+/// Node scheduler: start tasks while cores are free; steal when idle.
+fn tick<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L>, n: usize) {
+    w.nodes[n].tick_scheduled = false;
+    if !w.nodes[n].alive || w.done {
+        return;
+    }
+    while w.nodes[n].busy_cores < w.cfg.cores_per_node {
+        // Find the most recent task this node may start: combines and
+        // divides always may; leaves only while below the concurrency cap
+        // (blocked leaves stay queued — and stealable). Recomputed every
+        // round: each started leaf counts immediately.
+        let leaf_ok = w.nodes[n].running_leaves < w.cfg.max_concurrent_leaves;
+        let pick = w.nodes[n].deque.iter().enumerate().rev().find_map(|(i, t)| {
+            let startable = match t {
+                Task::Combine(_) => true,
+                Task::Job(j) => {
+                    if leaf_ok {
+                        true
+                    } else {
+                        match &w.jobs[*j].input {
+                            Some(input) => !w.app.is_leaf(input),
+                            None => true,
+                        }
+                    }
+                }
+            };
+            startable.then_some(i)
+        });
+        let Some(idx) = pick else {
+            break;
+        };
+        let task = w.nodes[n].deque.remove(idx).expect("index valid");
+        match task {
+            Task::Job(j) => start_job(w, sim, n, j),
+            Task::Combine(j) => start_combine(w, sim, n, j),
+        }
+    }
+    // Idle with no startable local work: steal from a random victim.
+    if w.nodes[n].deque.is_empty()
+        && w.nodes[n].busy_cores < w.cfg.cores_per_node
+        && !w.nodes[n].stealing
+        && !w.done
+        && w.cfg.nodes > 1
+    {
+        initiate_steal(w, sim, n);
+    }
+}
+
+fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+    j: usize,
+) {
+    if w.jobs[j].state != JobState::Queued {
+        return; // stale (crash reset)
+    }
+    w.jobs[j].state = JobState::Running;
+    w.jobs[j].exec_node = n;
+    w.nodes[n].busy_cores += 1;
+    w.nodes[n].steal_failures = 0;
+    // Leaves count against the concurrency cap from the moment they grab a
+    // core, not when their plan runs (which is a job-overhead later).
+    let is_leaf = w.jobs[j]
+        .input
+        .as_ref()
+        .is_some_and(|i| w.app.is_leaf(i));
+    if is_leaf {
+        w.nodes[n].running_leaves += 1;
+    }
+    let generation = w.jobs[j].generation;
+    let overhead = w.cfg.job_overhead;
+    sim.schedule_in(overhead, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+        process_job(w, sim, n, j, generation, is_leaf);
+    });
+}
+
+fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+    j: usize,
+    generation: u64,
+    is_leaf: bool,
+) {
+    if !w.nodes[n].alive {
+        return;
+    }
+    if w.jobs[j].generation != generation {
+        // The job was reset by a crash while we held the core.
+        if is_leaf {
+            w.nodes[n].running_leaves -= 1;
+        }
+        release_core(w, sim, n);
+        return;
+    }
+    let input = w.jobs[j].input.clone().expect("running job has input");
+    match w.app.step(&input) {
+        DcStep::Divide(children) => {
+            let cost = w.app.divide_cost(&input);
+            let start = sim.now() - w.cfg.job_overhead;
+            if sim.trace.enabled() {
+                sim.trace.record(
+                    w.nodes[n].cpu_lane,
+                    SpanKind::CpuTask,
+                    "divide",
+                    start,
+                    sim.now() + cost,
+                );
+            }
+            sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                if !w.nodes[n].alive {
+                    return;
+                }
+                if w.jobs[j].generation != generation {
+                    release_core(w, sim, n);
+                    return;
+                }
+                finish_divide(w, sim, n, j, children);
+            });
+        }
+        DcStep::Leaf => {
+            debug_assert!(is_leaf, "is_leaf must agree with step()");
+            let lane = w.nodes[n].cpu_lane;
+            let plan = w.leaf.plan(&w.app, n, &input, sim.now(), &mut sim.trace, lane);
+            w.report.leaves += 1;
+            match plan {
+                LeafPlan::Cpu { compute, output } => {
+                    let start = sim.now() - w.cfg.job_overhead;
+                    if sim.trace.enabled() {
+                        sim.trace.record(
+                            w.nodes[n].cpu_lane,
+                            SpanKind::CpuTask,
+                            "leaf",
+                            start,
+                            sim.now() + compute,
+                        );
+                    }
+                    w.report.node_busy[n] += compute;
+                    sim.schedule_in(compute, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if !w.nodes[n].alive {
+                            return;
+                        }
+                        w.nodes[n].running_leaves -= 1;
+                        release_core(w, sim, n);
+                        if w.jobs[j].generation != generation {
+                            return;
+                        }
+                        deliver(w, sim, n, j, output, generation);
+                    });
+                }
+                LeafPlan::Async {
+                    submit,
+                    done,
+                    output,
+                } => {
+                    w.report.node_busy[n] += done.saturating_sub(sim.now());
+                    sim.schedule_in(submit, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if !w.nodes[n].alive {
+                            return;
+                        }
+                        release_core(w, sim, n);
+                    });
+                    let at = done.max(sim.now());
+                    sim.schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if !w.nodes[n].alive {
+                            return;
+                        }
+                        w.nodes[n].running_leaves -= 1;
+                        schedule_tick(w, sim, n);
+                        if w.jobs[j].generation != generation {
+                            return;
+                        }
+                        deliver(w, sim, n, j, output, generation);
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn finish_divide<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+    j: usize,
+    children: Vec<A::Input>,
+) {
+    assert!(!children.is_empty(), "divide produced no children");
+    w.report.divides += 1;
+    let count = children.len();
+    w.jobs[j].state = JobState::Waiting;
+    w.jobs[j].pending = count;
+    w.jobs[j].child_outputs = vec![None; count];
+    w.jobs[j].children.clear();
+    for (idx, input) in children.into_iter().enumerate() {
+        let c = w.new_job(input, Some((j, idx)), n);
+        w.jobs[j].children.push(c);
+        w.nodes[n].deque.push_back(Task::Job(c));
+    }
+    release_core(w, sim, n);
+    schedule_tick(w, sim, n);
+}
+
+fn release_core<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+) {
+    debug_assert!(w.nodes[n].busy_cores > 0);
+    w.nodes[n].busy_cores -= 1;
+    schedule_tick(w, sim, n);
+}
+
+/// A leaf/combined output is ready on node `n` for job `j`.
+fn deliver<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+    j: usize,
+    output: A::Output,
+    generation: u64,
+) {
+    if w.jobs[j].generation != generation || w.jobs[j].state == JobState::Lost {
+        return;
+    }
+    w.jobs[j].state = JobState::Done;
+    w.jobs[j].input = None;
+    match w.jobs[j].parent {
+        None => {
+            w.root_result = Some(output);
+            w.done = true;
+            // Cancel trailing steal polls: the run is over and their only
+            // effect would be to advance the virtual clock.
+            for node in 0..w.cfg.nodes {
+                if let Some(h) = w.nodes[node].retry_event.take() {
+                    sim.cancel(h);
+                }
+                w.nodes[node].stealing = false;
+            }
+        }
+        Some((p, idx)) => {
+            let home = w.jobs[p].home_node;
+            if home == n {
+                receive_child(w, sim, p, idx, output, w.jobs[p].generation);
+            } else {
+                // Return the output over the network to the parent's node.
+                let bytes = w.app.output_bytes(&output);
+                let (src_busy, dst_busy) = (w.busy_fraction(n), w.busy_fraction(home));
+                let (lo, hi) = (n.min(home), n.max(home));
+                let (first, second) = w.nics.split_at_mut(hi);
+                let (src, dst) = if n < home {
+                    (&mut first[lo], &mut second[0])
+                } else {
+                    (&mut second[0], &mut first[lo])
+                };
+                let tr = schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
+                w.report.bytes_results += bytes;
+                if sim.trace.enabled() {
+                    sim.trace.record(
+                        w.nodes[n].net_lane,
+                        SpanKind::Network,
+                        "result",
+                        tr.start,
+                        tr.arrival,
+                    );
+                }
+                let pgen = w.jobs[p].generation;
+                sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    if !w.nodes[home].alive {
+                        return;
+                    }
+                    receive_child(w, sim, p, idx, output, pgen);
+                });
+            }
+        }
+    }
+}
+
+fn receive_child<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    p: usize,
+    idx: usize,
+    output: A::Output,
+    pgen: u64,
+) {
+    if w.jobs[p].generation != pgen || w.jobs[p].state != JobState::Waiting {
+        return;
+    }
+    if w.jobs[p].child_outputs[idx].is_some() {
+        return; // duplicate after re-execution
+    }
+    w.jobs[p].child_outputs[idx] = Some(output);
+    w.jobs[p].pending -= 1;
+    if w.jobs[p].pending == 0 {
+        let home = w.jobs[p].home_node;
+        w.nodes[home].deque.push_back(Task::Combine(p));
+        schedule_tick(w, sim, home);
+    }
+}
+
+fn start_combine<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+    p: usize,
+) {
+    if w.jobs[p].state != JobState::Waiting || w.jobs[p].pending != 0 {
+        return; // stale
+    }
+    w.nodes[n].busy_cores += 1;
+    let generation = w.jobs[p].generation;
+    let input = w.jobs[p].input.clone().expect("waiting job has input");
+    let cost = w.app.combine_cost(&input);
+    if sim.trace.enabled() {
+        sim.trace.record(
+            w.nodes[n].cpu_lane,
+            SpanKind::CpuTask,
+            "combine",
+            sim.now(),
+            sim.now() + cost,
+        );
+    }
+    sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+        if !w.nodes[n].alive {
+            return;
+        }
+        if w.jobs[p].generation != generation {
+            release_core(w, sim, n);
+            return;
+        }
+        let outputs: Vec<A::Output> = w.jobs[p]
+            .child_outputs
+            .iter_mut()
+            .map(|o| o.take().expect("all children delivered"))
+            .collect();
+        let input = w.jobs[p].input.clone().expect("combining job has input");
+        let output = w.app.combine(&input, outputs);
+        release_core(w, sim, n);
+        deliver(w, sim, n, p, output, generation);
+    });
+}
+
+/// Current retry delay for a thief: base rate for the first three
+/// consecutive failures, then doubling up to the configured cap.
+fn steal_backoff<A: ClusterApp, L: LeafRuntime<A>>(w: &World<A, L>, thief: usize) -> SimTime {
+    let failures = w.nodes[thief].steal_failures;
+    let doublings = failures.saturating_sub(3).min(30);
+    (w.cfg.steal_retry * (1u64 << doublings)).min(w.cfg.steal_retry_max)
+}
+
+fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    thief: usize,
+) {
+    // Pick a random live victim.
+    let mut victim = None;
+    for _ in 0..8 {
+        let v = w.rng.below(w.cfg.nodes);
+        if v != thief && w.nodes[v].alive {
+            victim = Some(v);
+            break;
+        }
+    }
+    let Some(victim) = victim else {
+        // No live victim found (most nodes crashed): poll again later.
+        let retry = steal_backoff(w, thief);
+        let h = sim.schedule_in(retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+            w.nodes[thief].retry_event = None;
+            if !w.done && w.nodes[thief].alive {
+                schedule_tick(w, sim, thief);
+            }
+        });
+        w.nodes[thief].retry_event = Some(h);
+        return;
+    };
+    w.nodes[thief].stealing = true;
+    w.report.steal_attempts += 1;
+    // Steal request: a small message, subject to CPU contention on both ends.
+    let req_time = w.cfg.net.wire_time(64)
+        + w.cfg.net.handling_time(w.busy_fraction(thief))
+        + w.cfg.net.handling_time(w.busy_fraction(victim));
+    sim.schedule_in(req_time, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+        handle_steal_request(w, sim, victim, thief);
+    });
+}
+
+fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    victim: usize,
+    thief: usize,
+) {
+    if w.done || !w.nodes[thief].alive {
+        w.nodes[thief].stealing = false;
+        return;
+    }
+    // Steal from the FIFO end: the oldest (largest) job. Combines stay
+    // home. Stale entries (a crash-restart requeues a job at its home
+    // while an old deque entry survives elsewhere; the fresh copy may
+    // already have run) are skipped — `start_job` skips them too.
+    let stolen = if w.nodes[victim].alive {
+        let pos = w.nodes[victim].deque.iter().position(|t| {
+            matches!(t, Task::Job(j) if w.jobs[*j].state == JobState::Queued
+                && w.jobs[*j].input.is_some())
+        });
+        pos.and_then(|p| w.nodes[victim].deque.remove(p))
+    } else {
+        None
+    };
+    match stolen {
+        Some(Task::Job(j)) => {
+            w.report.steals_ok += 1;
+            let input = w.jobs[j].input.as_ref().expect("queued job has input");
+            let bytes = w.app.input_bytes(input);
+            let (src_busy, dst_busy) = (w.busy_fraction(victim), w.busy_fraction(thief));
+            let (lo, hi) = (victim.min(thief), victim.max(thief));
+            let (first, second) = w.nics.split_at_mut(hi);
+            let (src, dst) = if victim < thief {
+                (&mut first[lo], &mut second[0])
+            } else {
+                (&mut second[0], &mut first[lo])
+            };
+            let tr = schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
+            w.report.bytes_stolen += bytes;
+            if sim.trace.enabled() {
+                sim.trace.record(
+                    w.nodes[thief].net_lane,
+                    SpanKind::Steal,
+                    "steal",
+                    tr.start,
+                    tr.arrival,
+                );
+            }
+            let generation = w.jobs[j].generation;
+            sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                w.nodes[thief].stealing = false;
+                w.nodes[thief].steal_failures = 0;
+                if w.jobs[j].generation != generation {
+                    return;
+                }
+                if !w.nodes[thief].alive {
+                    // The thief died while the job was in flight. The job
+                    // left the victim's deque, so nobody else knows about
+                    // it — bounce it back to a live node or it is lost and
+                    // the run never terminates.
+                    let home = w.jobs[j].home_node;
+                    let target = if w.nodes[home].alive { home } else { 0 };
+                    w.jobs[j].exec_node = target;
+                    w.nodes[target].deque.push_back(Task::Job(j));
+                    w.report.jobs_restarted += 1;
+                    schedule_tick(w, sim, target);
+                    return;
+                }
+                w.jobs[j].exec_node = thief;
+                w.nodes[thief].deque.push_back(Task::Job(j));
+                schedule_tick(w, sim, thief);
+            });
+        }
+        _ => {
+            // Nothing to steal: small refusal message, then retry. The first
+            // few consecutive failures retry at the base rate (responsive
+            // during normal imbalance); sustained failure — the idle tail of
+            // a run — backs off exponentially so a long tail does not flood
+            // the event queue with poll events.
+            let reply = w.cfg.net.wire_time(32);
+            // Back off only when no node in the cluster has stealable work
+            // (the idle tail / drain phase): a random victim simply being
+            // empty while others still have jobs keeps the base poll rate.
+            let any_work = w.nodes.iter().any(|n| {
+                n.alive && n.deque.iter().any(|t| matches!(t, Task::Job(_)))
+            });
+            if any_work {
+                w.nodes[thief].steal_failures = 0;
+            } else {
+                w.nodes[thief].steal_failures =
+                    w.nodes[thief].steal_failures.saturating_add(1);
+            }
+            let retry = steal_backoff(w, thief);
+            let h = sim.schedule_in(reply + retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                w.nodes[thief].retry_event = None;
+                w.nodes[thief].stealing = false;
+                if !w.done && w.nodes[thief].alive {
+                    schedule_tick(w, sim, thief);
+                }
+            });
+            w.nodes[thief].retry_event = Some(h);
+        }
+    }
+}
+
+/// Crash node `n`: it stops participating and every job it was executing or
+/// queueing is re-executed from a healthy node, exactly in the spirit of
+/// Satin's orphan-job recovery.
+fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L>, n: usize) {
+    if !w.nodes[n].alive {
+        return;
+    }
+    w.nodes[n].alive = false;
+    w.nodes[n].deque.clear();
+    w.nodes[n].busy_cores = 0;
+    w.nodes[n].running_leaves = 0;
+    w.report.crashes += 1;
+
+    // Restart roots: jobs whose record lives on a healthy node but whose
+    // execution was on (or under) the crashed node.
+    let mut restart = Vec::new();
+    for j in 0..w.jobs.len() {
+        let rec = &w.jobs[j];
+        if rec.state == JobState::Done || rec.state == JobState::Lost {
+            continue;
+        }
+        let on_crashed = rec.exec_node == n || rec.home_node == n;
+        if !on_crashed {
+            continue;
+        }
+        // Walk up to the first ancestor whose record lives on a healthy
+        // node (with multiple failures the home may be a *different* dead
+        // node — keep climbing; the root's home is the master, which
+        // cannot crash).
+        let mut cur = j;
+        loop {
+            let rec = &w.jobs[cur];
+            if rec.home_node != n && w.nodes[rec.home_node].alive {
+                restart.push(cur);
+                break;
+            }
+            match rec.parent {
+                Some((p, _)) => cur = p,
+                None => {
+                    restart.push(cur);
+                    break;
+                }
+            }
+        }
+    }
+    restart.sort_unstable();
+    restart.dedup();
+    // Keep only the topmost restart roots (drop any that is a descendant of
+    // another restart root).
+    let is_descendant = |w: &World<A, L>, mut x: usize, anc: usize| -> bool {
+        while let Some((p, _)) = w.jobs[x].parent {
+            if p == anc {
+                return true;
+            }
+            x = p;
+        }
+        false
+    };
+    let roots: Vec<usize> = restart
+        .iter()
+        .copied()
+        .filter(|&r| !restart.iter().any(|&a| a != r && is_descendant(w, r, a)))
+        .collect();
+
+    for r in roots {
+        // Discard the subtree below r and re-queue r at its home node.
+        let mut stack: Vec<usize> = w.jobs[r].children.clone();
+        while let Some(c) = stack.pop() {
+            stack.extend(w.jobs[c].children.iter().copied());
+            w.jobs[c].state = JobState::Lost;
+            w.jobs[c].generation += 1;
+            w.jobs[c].input = None;
+        }
+        let home = w.jobs[r].home_node;
+        debug_assert!(w.nodes[home].alive, "restart root must live on a healthy node");
+        w.jobs[r].children.clear();
+        w.jobs[r].child_outputs.clear();
+        w.jobs[r].pending = 0;
+        w.jobs[r].generation += 1;
+        w.jobs[r].state = JobState::Queued;
+        w.jobs[r].exec_node = home;
+        w.report.jobs_restarted += 1;
+        w.nodes[home].deque.push_back(Task::Job(r));
+        schedule_tick(w, sim, home);
+    }
+    // Wake everyone: sudden loss of a victim must not deadlock thieves.
+    for k in 0..w.cfg.nodes {
+        if w.nodes[k].alive {
+            schedule_tick(w, sim, k);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Simulated-cluster backend of Satin (used for every paper experiment).
+
+pub mod app;
+pub mod engine;
+pub mod report;
+
+pub use app::{ClusterApp, CpuLeafRuntime, DcStep, LeafPlan, LeafRuntime};
+pub use engine::{ClusterSim, SimConfig, World};
+pub use report::RunReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cashmere_des::trace::{LaneId, Trace};
+    use cashmere_des::SimTime;
+
+    /// Divide-and-conquer range sum, the canonical Fig. 1 shape.
+    struct SumApp {
+        grain: u64,
+    }
+
+    impl ClusterApp for SumApp {
+        type Input = (u64, u64);
+        type Output = u64;
+
+        fn step(&self, &(lo, hi): &(u64, u64)) -> DcStep<(u64, u64)> {
+            if hi - lo <= self.grain {
+                DcStep::Leaf
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                DcStep::Divide(vec![(lo, mid), (mid, hi)])
+            }
+        }
+
+        fn combine(&self, _i: &(u64, u64), children: Vec<u64>) -> u64 {
+            children.into_iter().sum()
+        }
+
+        fn input_bytes(&self, _i: &(u64, u64)) -> u64 {
+            // pretend each job ships a small input block
+            4096
+        }
+
+        fn output_bytes(&self, _o: &u64) -> u64 {
+            64
+        }
+    }
+
+    /// CPU leaf: 1 µs of work per element, real sum as output.
+    #[allow(clippy::type_complexity)]
+    fn cpu_leaf() -> CpuLeafRuntime<impl FnMut(usize, &(u64, u64), SimTime) -> (SimTime, u64)> {
+        CpuLeafRuntime(|_node, &(lo, hi): &(u64, u64), _now| {
+            (SimTime::from_micros(hi - lo), (lo..hi).sum::<u64>())
+        })
+    }
+
+    fn config(nodes: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            nodes,
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    const N: u64 = 200_000;
+    const EXPECT: u64 = N * (N - 1) / 2;
+
+    #[test]
+    fn single_node_computes_the_sum() {
+        let mut cs = ClusterSim::new(SumApp { grain: 4_000 }, cpu_leaf(), config(1, 1));
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let r = cs.report();
+        assert_eq!(r.leaves, 64, "200k / 4k-grain halving = 64 leaves");
+        assert_eq!(r.divides, 63);
+        assert_eq!(r.steals_ok, 0, "nothing to steal with one node");
+        // 200k µs of work over 8 cores ⇒ at least 25 ms.
+        assert!(r.makespan >= SimTime::from_millis(25), "{}", r.makespan);
+    }
+
+    #[test]
+    fn multi_node_same_result_with_steals() {
+        let mut cs = ClusterSim::new(SumApp { grain: 4_000 }, cpu_leaf(), config(4, 7));
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let r = cs.report();
+        assert!(r.steals_ok > 0, "work must have been stolen");
+        assert!(r.bytes_stolen > 0);
+        assert!(r.bytes_results > 0);
+    }
+
+    #[test]
+    fn more_nodes_scale_down_the_makespan() {
+        let time = |nodes: usize| {
+            let mut cs = ClusterSim::new(SumApp { grain: 2_000 }, cpu_leaf(), config(nodes, 5));
+            let out = cs.run_root((0, N));
+            assert_eq!(out, EXPECT);
+            cs.report().makespan
+        };
+        let t1 = time(1);
+        let t4 = time(4);
+        let t8 = time(8);
+        let s4 = t1.as_secs_f64() / t4.as_secs_f64();
+        let s8 = t1.as_secs_f64() / t8.as_secs_f64();
+        assert!(s4 > 2.5, "speedup on 4 nodes was {s4:.2}");
+        assert!(s8 > s4, "8 nodes ({s8:.2}x) should beat 4 nodes ({s4:.2}x)");
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let run = || {
+            let mut cs = ClusterSim::new(SumApp { grain: 1_000 }, cpu_leaf(), config(6, 99));
+            let out = cs.run_root((0, N));
+            (out, cs.report().makespan, cs.report().steals_ok)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seed_same_answer() {
+        let run = |seed| {
+            let mut cs = ClusterSim::new(SumApp { grain: 1_000 }, cpu_leaf(), config(6, seed));
+            cs.run_root((0, N))
+        };
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn crash_recovery_still_produces_the_answer() {
+        let mut cs = ClusterSim::new(SumApp { grain: 1_000 }, cpu_leaf(), config(4, 3));
+        // Crash node 2 mid-run (total run is tens of ms).
+        cs.schedule_crash(2, SimTime::from_millis(4));
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT, "result correct despite losing a node");
+        let r = cs.report();
+        assert_eq!(r.crashes, 1);
+        assert!(r.jobs_restarted > 0, "lost subtrees were re-executed");
+    }
+
+    #[test]
+    fn crash_of_idle_node_is_harmless() {
+        let mut cs = ClusterSim::new(SumApp { grain: 50_000 }, cpu_leaf(), config(4, 3));
+        // Grain so large that only a few jobs exist; crash late-ish.
+        cs.schedule_crash(3, SimTime::from_micros(10));
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+    }
+
+    #[test]
+    fn broadcast_advances_time_and_counts_bytes() {
+        let mut cs = ClusterSim::new(SumApp { grain: 4_000 }, cpu_leaf(), config(4, 1));
+        let _ = cs.run_root((0, 8_000));
+        let before = cs.now();
+        cs.broadcast(1_000_000);
+        assert!(cs.now() > before);
+        assert_eq!(cs.report().bytes_broadcast, 3_000_000, "3 slaves × 1 MB");
+    }
+
+    #[test]
+    fn iterative_runs_accumulate_time() {
+        let mut cs = ClusterSim::new(SumApp { grain: 4_000 }, cpu_leaf(), config(2, 1));
+        let a = cs.run_root((0, 50_000));
+        let t1 = cs.now();
+        cs.broadcast(1024);
+        let b = cs.run_root((0, 50_000));
+        assert_eq!(a, b);
+        assert!(cs.now() > t1 * 2 - t1, "time strictly grows");
+    }
+
+    #[test]
+    fn trace_records_cpu_and_steal_activity() {
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 4_000 },
+            cpu_leaf(),
+            SimConfig {
+                nodes: 3,
+                trace: true,
+                ..SimConfig::default()
+            },
+        );
+        let _ = cs.run_root((0, N));
+        let spans = cs.trace().spans();
+        assert!(!spans.is_empty());
+        use cashmere_des::trace::SpanKind;
+        assert!(spans.iter().any(|s| s.kind == SpanKind::CpuTask));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Steal));
+    }
+
+    /// An async leaf runtime with multiple independent device engines per
+    /// node, assigned round-robin.
+    struct FakeDeviceRuntime {
+        engines: Vec<SimTime>,
+        next: usize,
+        kernel: SimTime,
+    }
+
+    impl LeafRuntime<SumApp> for FakeDeviceRuntime {
+        fn plan(
+            &mut self,
+            _app: &SumApp,
+            _node: usize,
+            &(lo, hi): &(u64, u64),
+            now: SimTime,
+            _trace: &mut Trace,
+            _lane: LaneId,
+        ) -> LeafPlan<u64> {
+            let e = self.next % self.engines.len();
+            self.next += 1;
+            let start = now.max(self.engines[e]);
+            let done = start + self.kernel;
+            self.engines[e] = done;
+            LeafPlan::Async {
+                submit: SimTime::from_micros(5),
+                done,
+                output: (lo..hi).sum::<u64>(),
+            }
+        }
+    }
+
+    #[test]
+    fn async_leaves_release_the_core_and_overlap_on_devices() {
+        // One node with a single CPU core but two device engines: with
+        // asynchronous leaves the core is free after submission, so both
+        // kernels overlap and the makespan is ~one kernel, not two.
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 100_000 },
+            FakeDeviceRuntime {
+                engines: vec![SimTime::ZERO; 2],
+                next: 0,
+                kernel: SimTime::from_millis(10),
+            },
+            SimConfig {
+                nodes: 1,
+                cores_per_node: 1,
+                ..SimConfig::default()
+            },
+        );
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let m = cs.report().makespan;
+        assert!(m >= SimTime::from_millis(10), "{m}");
+        assert!(m < SimTime::from_millis(15), "kernels must overlap: {m}");
+    }
+
+    /// A *blocking* device runtime (one management thread per device job, as
+    /// in the paper: "a call to MCL.launch() is blocking"): the core is held
+    /// for the job's duration, which gives natural backpressure so other
+    /// nodes can steal the still-queued node-level jobs.
+    struct BlockingDeviceRuntime {
+        free_at: Vec<SimTime>,
+        kernel: SimTime,
+    }
+
+    impl LeafRuntime<SumApp> for BlockingDeviceRuntime {
+        fn plan(
+            &mut self,
+            _app: &SumApp,
+            node: usize,
+            &(lo, hi): &(u64, u64),
+            now: SimTime,
+            _trace: &mut Trace,
+            _lane: LaneId,
+        ) -> LeafPlan<u64> {
+            let start = now.max(self.free_at[node]);
+            let done = start + self.kernel;
+            self.free_at[node] = done;
+            LeafPlan::Cpu {
+                compute: done - now,
+                output: (lo..hi).sum::<u64>(),
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_device_leaves_distribute_across_nodes() {
+        let nodes = 2;
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 12_500 }, // 16 leaves
+            BlockingDeviceRuntime {
+                free_at: vec![SimTime::ZERO; nodes],
+                kernel: SimTime::from_millis(10),
+            },
+            config(nodes, 1),
+        );
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let r = cs.report();
+        assert!(r.steals_ok > 0, "node 1 must have stolen node-level jobs");
+        // Two devices share 16 × 10 ms of kernels: well under the 160 ms a
+        // single device would need.
+        assert!(r.makespan < SimTime::from_millis(120), "{}", r.makespan);
+        assert!(r.makespan >= SimTime::from_millis(70), "{}", r.makespan);
+    }
+}

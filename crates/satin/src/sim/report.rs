@@ -1,0 +1,79 @@
+//! Run statistics reported by the simulated cluster.
+
+use cashmere_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Counters collected over one or more root runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Wall time of the most recent root run.
+    pub makespan: SimTime,
+    /// Virtual time at the end of the last run (accumulates across
+    /// iterations).
+    pub total_time: SimTime,
+    pub jobs_created: u64,
+    pub divides: u64,
+    pub leaves: u64,
+    pub steal_attempts: u64,
+    pub steals_ok: u64,
+    pub bytes_stolen: u64,
+    pub bytes_results: u64,
+    pub bytes_broadcast: u64,
+    pub crashes: u64,
+    pub jobs_restarted: u64,
+    /// Accumulated compute-busy time per node.
+    pub node_busy: Vec<SimTime>,
+}
+
+impl RunReport {
+    pub fn new(nodes: usize) -> RunReport {
+        RunReport {
+            makespan: SimTime::ZERO,
+            total_time: SimTime::ZERO,
+            jobs_created: 0,
+            divides: 0,
+            leaves: 0,
+            steal_attempts: 0,
+            steals_ok: 0,
+            bytes_stolen: 0,
+            bytes_results: 0,
+            bytes_broadcast: 0,
+            crashes: 0,
+            jobs_restarted: 0,
+            node_busy: vec![SimTime::ZERO; nodes],
+        }
+    }
+
+    /// Steal success rate.
+    pub fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steals_ok as f64 / self.steal_attempts as f64
+        }
+    }
+
+    /// Total bytes that crossed the interconnect.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_stolen + self.bytes_results + self.bytes_broadcast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_totals() {
+        let mut r = RunReport::new(2);
+        assert_eq!(r.steal_success_rate(), 0.0);
+        r.steal_attempts = 10;
+        r.steals_ok = 4;
+        r.bytes_stolen = 100;
+        r.bytes_results = 50;
+        r.bytes_broadcast = 25;
+        assert!((r.steal_success_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(r.bytes_total(), 175);
+        assert_eq!(r.node_busy.len(), 2);
+    }
+}

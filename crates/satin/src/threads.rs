@@ -1,0 +1,508 @@
+//! Real shared-memory backend for the Satin programming model.
+//!
+//! Satin's `spawn`/`sync` is Cilk's fork–join (paper Sec. II-A); on a single
+//! node that is exactly structured fork–join parallelism, implemented here
+//! as a work-stealing thread pool with a `join(a, b)` primitive in the style
+//! of Cilk/rayon:
+//!
+//! * every worker owns a LIFO deque (`crossbeam_deque::Worker`);
+//! * `join` pushes `b`, runs `a` inline (work-first), then pops `b` back or
+//!   — if it was stolen — *helps* by running other jobs until `b` is done;
+//! * idle workers steal FIFO from victims chosen in scan order.
+//!
+//! The pointer-based `StackJob` avoids allocating for the common
+//! not-stolen case is traded away for safety here: jobs are boxed, but the
+//! *lifetime* problem of borrowed closures is handled the same way rayon
+//! does it — `join` does not return until both closures finished, so the
+//! erased pointers never dangle. See the `SAFETY` comments.
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A type-erased reference to a job living on some stack frame below a
+/// `join` call (or in the injector for root jobs).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only sent between worker threads of the same pool and
+// only executed once; the owning stack frame outlives execution because
+// `join`/`run` block until the job's latch is set.
+unsafe impl Send for JobRef {}
+
+/// A job whose closure and result live on the spawner's stack.
+struct StackJob<F, R> {
+    f: Cell<Option<F>>,
+    result: Cell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            f: Cell::new(Some(f)),
+            result: Cell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute,
+        }
+    }
+
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        let f = this.f.take().expect("job executed twice");
+        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        this.result.set(Some(res));
+        // Release: the result write happens-before the `done` load in `join`.
+        this.done.store(true, Ordering::Release);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn take_result(&self) -> R {
+        match self.result.take().expect("result missing") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+// SAFETY: StackJob is shared across threads only through JobRef; the Cells
+// are accessed by exactly one thread at a time (executor before the Release
+// store, owner after the Acquire load).
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    terminating: AtomicBool,
+    active_jobs: AtomicUsize,
+}
+
+impl Registry {
+    fn wake_all(&self) {
+        let _g = self.sleep_mutex.lock();
+        self.sleep_cond.notify_all();
+    }
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<*const WorkerCtx> = const { Cell::new(std::ptr::null()) };
+}
+
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    worker: Worker<JobRef>,
+    index: usize,
+}
+
+impl WorkerCtx {
+    /// Find a job: own deque (LIFO), then injector, then steal (FIFO).
+    fn find_job(&self) -> Option<JobRef> {
+        if let Some(j) = self.worker.pop() {
+            return Some(j);
+        }
+        loop {
+            match self.registry.injector.steal_batch_and_pop(&self.worker) {
+                crossbeam_deque::Steal::Success(j) => return Some(j),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        let n = self.registry.stealers.len();
+        for k in 0..n {
+            let v = (self.index + 1 + k) % n;
+            if v == self.index {
+                continue;
+            }
+            loop {
+                match self.registry.stealers[v].steal() {
+                    crossbeam_deque::Steal::Success(j) => return Some(j),
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            if let Some(job) = self.find_job() {
+                // SAFETY: job pointers remain valid until their latch is set
+                // (the owner blocks in join/run), and each is executed once.
+                unsafe { (job.execute)(job.data) };
+                self.registry.active_jobs.fetch_sub(1, Ordering::Relaxed);
+                self.registry.wake_all();
+                continue;
+            }
+            if self.registry.terminating.load(Ordering::Acquire) {
+                return;
+            }
+            let mut g = self.registry.sleep_mutex.lock();
+            if self.registry.terminating.load(Ordering::Acquire) {
+                return;
+            }
+            if self.registry.active_jobs.load(Ordering::Relaxed) == 0 {
+                // Nothing anywhere: sleep until new work is injected.
+                self.registry.sleep_cond.wait(&mut g);
+            } else {
+                // Work exists but none is stealable right now (all jobs are
+                // executing); back off briefly instead of spinning hot.
+                self.registry
+                    .sleep_cond
+                    .wait_for(&mut g, std::time::Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// A Satin-style work-stealing pool.
+pub struct SatinPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl SatinPool {
+    /// Spin up `threads` workers (≥1).
+    pub fn new(threads: usize) -> SatinPool {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<JobRef>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers,
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            terminating: AtomicBool::new(false),
+            active_jobs: AtomicUsize::new(0),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, worker)| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("satin-worker-{index}"))
+                    .spawn(move || {
+                        let ctx = WorkerCtx {
+                            registry,
+                            worker,
+                            index,
+                        };
+                        CURRENT_WORKER.with(|c| c.set(&ctx as *const WorkerCtx));
+                        ctx.worker_loop();
+                        CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
+                    })
+                    .expect("spawn satin worker")
+            })
+            .collect();
+        SatinPool {
+            registry,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` on the pool and block until it completes. `f` may call
+    /// [`join`] (transitively) to expose parallelism.
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(f);
+        // SAFETY: we block below until the job's latch is set, so the
+        // stack-allocated job outlives its execution.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.active_jobs.fetch_add(1, Ordering::Relaxed);
+        self.registry.injector.push(job_ref);
+        self.registry.wake_all();
+        // Park instead of spinning: workers broadcast on every job
+        // completion, and the timed wait bounds any missed wakeup.
+        while !job.is_done() {
+            let mut g = self.registry.sleep_mutex.lock();
+            if !job.is_done() {
+                self.registry
+                    .sleep_cond
+                    .wait_for(&mut g, std::time::Duration::from_millis(1));
+            }
+        }
+        job.take_result()
+    }
+}
+
+impl Drop for SatinPool {
+    fn drop(&mut self) {
+        self.registry.terminating.store(true, Ordering::Release);
+        self.registry.wake_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fork–join: runs `a` and `b`, potentially in parallel, and returns both
+/// results. Must be called from inside a pool (i.e. transitively from
+/// [`SatinPool::run`]); called outside, it simply runs sequentially.
+///
+/// This is the `spawn … spawn … sync` pattern of the paper's Fig. 1 in its
+/// binary form.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ctx_ptr = CURRENT_WORKER.with(|c| c.get());
+    if ctx_ptr.is_null() {
+        // Not on a worker: sequential fallback.
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    // SAFETY: the pointer is set by the worker thread itself at startup and
+    // cleared at shutdown; we are running on that thread.
+    let ctx = unsafe { &*ctx_ptr };
+
+    let b_job = StackJob::new(b);
+    // SAFETY: we do not return until b_job's latch is set (below), so the
+    // reference pushed to the deque cannot dangle.
+    let b_ref = unsafe { b_job.as_job_ref() };
+    ctx.registry.active_jobs.fetch_add(1, Ordering::Relaxed);
+    ctx.worker.push(b_ref);
+    ctx.registry.wake_all();
+
+    let ra = a();
+
+    // Fast path: if b is still in our own deque, run it inline.
+    while !b_job.is_done() {
+        match ctx.worker.pop() {
+            Some(job) => {
+                // Usually this is b itself; if `a` left other jobs they are
+                // ours to run too.
+                unsafe { (job.execute)(job.data) };
+                ctx.registry.active_jobs.fetch_sub(1, Ordering::Relaxed);
+                ctx.registry.wake_all();
+            }
+            None => {
+                // b was stolen: help by running any other available job.
+                if let Some(job) = ctx.find_job() {
+                    unsafe { (job.execute)(job.data) };
+                    ctx.registry.active_jobs.fetch_sub(1, Ordering::Relaxed);
+                    ctx.registry.wake_all();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    let rb = b_job.take_result();
+    (ra, rb)
+}
+
+/// Recursive divide-and-conquer helper over an index range: splits
+/// `[lo, hi)` down to `grain`, runs `leaf` on each chunk in parallel, and
+/// combines results with `merge`. A convenience wrapper over [`join`]
+/// matching the skeleton of the paper's Fig. 1.
+pub fn parallel_reduce<R, Leaf, Merge>(
+    lo: u64,
+    hi: u64,
+    grain: u64,
+    leaf: &Leaf,
+    merge: &Merge,
+) -> R
+where
+    R: Send,
+    Leaf: Fn(u64, u64) -> R + Sync,
+    Merge: Fn(R, R) -> R + Sync,
+{
+    if hi - lo <= grain.max(1) {
+        return leaf(lo, hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = join(
+        || parallel_reduce(lo, mid, grain, leaf, merge),
+        || parallel_reduce(mid, hi, grain, leaf, merge),
+    );
+    merge(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn fib_parallel_matches_sequential() {
+        let pool = SatinPool::new(4);
+        let r = pool.run(|| fib(20));
+        assert_eq!(r, 6765);
+    }
+
+    #[test]
+    fn join_outside_pool_is_sequential() {
+        let (a, b) = join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn parallel_reduce_sums_range() {
+        let pool = SatinPool::new(8);
+        let total = pool.run(|| {
+            parallel_reduce(0, 10_000, 64, &|lo, hi| (lo..hi).sum::<u64>(), &|a, b| a + b)
+        });
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn borrowed_data_is_usable_across_join() {
+        let data: Vec<u64> = (0..4096).collect();
+        let pool = SatinPool::new(4);
+        let sum = pool.run(|| {
+            parallel_reduce(
+                0,
+                data.len() as u64,
+                128,
+                &|lo, hi| data[lo as usize..hi as usize].iter().sum::<u64>(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(sum, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        let pool = SatinPool::new(4);
+        pool.run(|| {
+            parallel_reduce(
+                0,
+                4096,
+                1,
+                &|_lo, _hi| {
+                    // Do a little work so stealing has time to happen.
+                    std::hint::black_box((0..500).sum::<u64>());
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    0u64
+                },
+                &|a, b| a + b,
+            )
+        });
+        let n = seen.lock().unwrap().len();
+        assert!(n >= 2, "expected ≥2 worker threads, saw {n}");
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = SatinPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|| {
+                let ((), ()) = join(
+                    || (),
+                    || panic!("boom in spawned job"),
+                );
+            })
+        }));
+        assert!(result.is_err());
+        // Pool is still usable afterwards.
+        assert_eq!(pool.run(|| fib(10)), 55);
+    }
+
+    #[test]
+    fn nested_runs_and_many_joins() {
+        let pool = SatinPool::new(3);
+        let counter = AtomicU64::new(0);
+        pool.run(|| {
+            parallel_reduce(
+                0,
+                1000,
+                1,
+                &|_l, _h| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_thread_pool_still_correct() {
+        let pool = SatinPool::new(1);
+        assert_eq!(pool.run(|| fib(15)), 610);
+    }
+
+    #[test]
+    fn speedup_is_observable_on_compute_bound_work() {
+        // Not a benchmark — just a sanity check that 4 threads beat 1 on an
+        // embarrassingly parallel workload by a comfortable margin.
+        fn work(lo: u64, hi: u64) -> u64 {
+            let mut acc = 0u64;
+            for i in lo..hi {
+                acc = acc.wrapping_add(std::hint::black_box(i).wrapping_mul(2654435761));
+                acc ^= acc >> 13;
+            }
+            acc
+        }
+        let run = |threads: usize| {
+            let pool = SatinPool::new(threads);
+            let t0 = std::time::Instant::now();
+            let r = pool.run(|| {
+                parallel_reduce(0, 40_000_000, 1 << 18, &work, &|a, b| {
+                    a.wrapping_add(b)
+                })
+            });
+            (r, t0.elapsed())
+        };
+        let (r1, t1) = run(1);
+        let (r4, t4) = run(4);
+        assert_eq!(r1, r4);
+        // Only meaningful on a multi-core host; single-core CI boxes can't
+        // show a speedup no matter what the scheduler does.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 2 {
+            assert!(
+                t4 < t1,
+                "4 threads ({t4:?}) should beat 1 thread ({t1:?}) on {cores} cores"
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Randomized failure injection: whatever node crashes at whatever time,
+//! Satin's recovery must still deliver the exact answer (paper Sec. II-A:
+//! "Satin recovers from nodes that are no longer responding").
+
+use cashmere_des::SimTime;
+use cashmere_satin::{ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, SimConfig};
+use proptest::prelude::*;
+
+struct SumApp {
+    grain: u64,
+}
+
+impl ClusterApp for SumApp {
+    type Input = (u64, u64);
+    type Output = u64;
+
+    fn step(&self, &(lo, hi): &(u64, u64)) -> DcStep<(u64, u64)> {
+        if hi - lo <= self.grain {
+            DcStep::Leaf
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            DcStep::Divide(vec![(lo, mid), (mid, hi)])
+        }
+    }
+
+    fn combine(&self, _: &(u64, u64), c: Vec<u64>) -> u64 {
+        c.into_iter().sum()
+    }
+
+    fn input_bytes(&self, _: &(u64, u64)) -> u64 {
+        1024
+    }
+
+    fn output_bytes(&self, _: &u64) -> u64 {
+        8
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn leaf() -> CpuLeafRuntime<impl FnMut(usize, &(u64, u64), SimTime) -> (SimTime, u64)> {
+    CpuLeafRuntime(|_n, &(lo, hi): &(u64, u64), _t| {
+        (SimTime::from_micros(hi - lo), (lo..hi).sum::<u64>())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_single_crash_preserves_the_answer(
+        nodes in 2usize..7,
+        victim_sel in 1usize..100,
+        crash_ms in 0u64..60,
+        seed in 0u64..500,
+    ) {
+        let victim = 1 + victim_sel % (nodes - 1).max(1);
+        let total = 100_000u64;
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 2_000 },
+            leaf(),
+            SimConfig { nodes, seed, ..SimConfig::default() },
+        );
+        if victim < nodes {
+            cs.schedule_crash(victim, SimTime::from_millis(crash_ms));
+        }
+        let out = cs.run_root((0, total));
+        prop_assert_eq!(out, total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn two_crashes_preserve_the_answer(
+        nodes in 4usize..8,
+        crash_a_ms in 0u64..40,
+        crash_b_ms in 0u64..40,
+        seed in 0u64..200,
+    ) {
+        let total = 80_000u64;
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 1_000 },
+            leaf(),
+            SimConfig { nodes, seed, ..SimConfig::default() },
+        );
+        cs.schedule_crash(1, SimTime::from_millis(crash_a_ms));
+        cs.schedule_crash(2, SimTime::from_millis(crash_b_ms));
+        let out = cs.run_root((0, total));
+        prop_assert_eq!(out, total * (total - 1) / 2);
+    }
+}
+
+#[test]
+fn crash_storm_leaves_only_the_master() {
+    // Every slave dies almost immediately; the master alone must finish.
+    let total = 50_000u64;
+    let mut cs = ClusterSim::new(
+        SumApp { grain: 1_000 },
+        leaf(),
+        SimConfig {
+            nodes: 6,
+            seed: 11,
+            ..SimConfig::default()
+        },
+    );
+    for n in 1..6 {
+        cs.schedule_crash(n, SimTime::from_millis(2 + n as u64));
+    }
+    let out = cs.run_root((0, total));
+    assert_eq!(out, total * (total - 1) / 2);
+    assert_eq!(cs.report().crashes, 5);
+}
+
+#[test]
+fn crash_after_completion_is_harmless() {
+    let total = 10_000u64;
+    let mut cs = ClusterSim::new(
+        SumApp { grain: 1_000 },
+        leaf(),
+        SimConfig {
+            nodes: 3,
+            seed: 1,
+            ..SimConfig::default()
+        },
+    );
+    // Far beyond the end of the run.
+    cs.schedule_crash(1, SimTime::from_secs(3600));
+    let out = cs.run_root((0, total));
+    assert_eq!(out, total * (total - 1) / 2);
+}

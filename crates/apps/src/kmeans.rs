@@ -399,13 +399,10 @@ impl ClusterApp for KmeansApp {
     }
 
     fn combine(&self, _i: &(u64, u64), children: Vec<KmOut>) -> KmOut {
-        children
-            .into_iter()
-            .reduce(KmOut::add)
-            .unwrap_or(KmOut {
-                sums: Vec::new(),
-                counts: Vec::new(),
-            })
+        children.into_iter().reduce(KmOut::add).unwrap_or(KmOut {
+            sums: Vec::new(),
+            counts: Vec::new(),
+        })
     }
 
     fn input_bytes(&self, _i: &(u64, u64)) -> u64 {
@@ -437,8 +434,7 @@ impl CashmereApp for KmeansApp {
         let pts = hi - lo;
         let (args, extra_scale) = match (&self.mode, &self.points) {
             (AppMode::Real, Some(points)) => {
-                let slice =
-                    points[(lo * pr.d) as usize..(hi * pr.d) as usize].to_vec();
+                let slice = points[(lo * pr.d) as usize..(hi * pr.d) as usize].to_vec();
                 let cent = self.centroids.read().expect("centroids lock").clone();
                 (
                     vec![

@@ -451,8 +451,7 @@ impl CashmereApp for MatmulApp {
         let p = pr.p;
         let (args, extra_scale) = match (&self.mode, &self.data) {
             (AppMode::Real, Some(d)) => {
-                let a_rows: Vec<f64> =
-                    d.a[(job.r0 * p) as usize..(job.r1 * p) as usize].to_vec();
+                let a_rows: Vec<f64> = d.a[(job.r0 * p) as usize..(job.r1 * p) as usize].to_vec();
                 let b_panel = d.b_panel(pr, job.c0, job.c1);
                 (
                     vec![
@@ -532,7 +531,11 @@ mod tests {
 
     #[test]
     fn real_run_matches_reference_unoptimized() {
-        let pr = MatmulProblem { n: 48, m: 20, p: 36 };
+        let pr = MatmulProblem {
+            n: 48,
+            m: 20,
+            p: 36,
+        };
         let app = MatmulApp::real(pr, 16, 4, 7);
         let root = app.row_job(0, pr.n);
         let reference = app.data_ref().unwrap().reference_rows(&pr, 0, pr.n);
@@ -554,7 +557,11 @@ mod tests {
     #[test]
     fn real_run_matches_reference_optimized_tiled() {
         // Sizes deliberately not multiples of 16 to stress the tile guards.
-        let pr = MatmulProblem { n: 37, m: 29, p: 23 };
+        let pr = MatmulProblem {
+            n: 37,
+            m: 29,
+            p: 23,
+        };
         let app = MatmulApp::real(pr, 37, 3, 3);
         let root = app.row_job(0, pr.n);
         let reference = app.data_ref().unwrap().reference_rows(&pr, 0, pr.n);
@@ -575,7 +582,11 @@ mod tests {
 
     #[test]
     fn real_run_on_heterogeneous_devices_still_correct() {
-        let pr = MatmulProblem { n: 64, m: 24, p: 24 };
+        let pr = MatmulProblem {
+            n: 64,
+            m: 24,
+            p: 24,
+        };
         let app = MatmulApp::real(pr, 16, 2, 9);
         let root = app.row_job(0, pr.n);
         let reference = app.data_ref().unwrap().reference_rows(&pr, 0, pr.n);
@@ -603,7 +614,11 @@ mod tests {
 
     #[test]
     fn satin_variant_matches_reference() {
-        let pr = MatmulProblem { n: 32, m: 16, p: 16 };
+        let pr = MatmulProblem {
+            n: 32,
+            m: 16,
+            p: 16,
+        };
         let app = MatmulApp::real(pr, 8, 1, 5);
         let root = app.row_job(0, pr.n);
         let reference = app.data_ref().unwrap().reference_rows(&pr, 0, pr.n);
@@ -677,7 +692,11 @@ mod tests {
     #[test]
     fn phantom_calibration_scales_with_p() {
         let time_for_p = |p: u64| {
-            let pr = MatmulProblem { n: 2048, m: 2048, p };
+            let pr = MatmulProblem {
+                n: 2048,
+                m: 2048,
+                p,
+            };
             let app = MatmulApp::phantom(pr, 1024, 4);
             let root = app.row_job(0, pr.n);
             let mut cluster = build_cluster(

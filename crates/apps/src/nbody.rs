@@ -438,8 +438,7 @@ impl CashmereApp for NbodyApp {
         let (args, extra_scale) = match self.mode {
             AppMode::Real => {
                 let st = self.state.read().expect("state lock");
-                let vel =
-                    st.vel[(lo * 4) as usize..(hi * 4) as usize].to_vec();
+                let vel = st.vel[(lo * 4) as usize..(hi * 4) as usize].to_vec();
                 (
                     vec![
                         ArgValue::Int(m as i64),
@@ -542,10 +541,7 @@ mod tests {
     fn close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
-                "{x} vs {y}"
-            );
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
         }
     }
 

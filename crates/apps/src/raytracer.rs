@@ -80,12 +80,22 @@ macro_rules! tracer_body {
         float best = 1e20;
         int hit = -1;
         for (int sp = 0; sp < nsph; sp++) {
-          float opx = ", $scene, "[sp,1] - ox;
-          float opy = ", $scene, "[sp,2] - oy;
-          float opz = ", $scene, "[sp,3] - oz;
+          float opx = ",
+            $scene,
+            "[sp,1] - ox;
+          float opy = ",
+            $scene,
+            "[sp,2] - oy;
+          float opz = ",
+            $scene,
+            "[sp,3] - oz;
           float b = opx * dx + opy * dy + opz * dz;
           float det = b * b - (opx * opx + opy * opy + opz * opz)
-              + ", $scene, "[sp,0] * ", $scene, "[sp,0];
+              + ",
+            $scene,
+            "[sp,0] * ",
+            $scene,
+            "[sp,0];
           if (det >= 0.0) {
             float sd = sqrt(det);
             float t1 = b - sd;
@@ -103,9 +113,15 @@ macro_rules! tracer_body {
           float hx = ox + dx * best;
           float hy = oy + dy * best;
           float hz = oz + dz * best;
-          float nx = hx - ", $scene, "[hit,1];
-          float ny = hy - ", $scene, "[hit,2];
-          float nz = hz - ", $scene, "[hit,3];
+          float nx = hx - ",
+            $scene,
+            "[hit,1];
+          float ny = hy - ",
+            $scene,
+            "[hit,2];
+          float nz = hz - ",
+            $scene,
+            "[hit,3];
           float nl = rsqrt(nx * nx + ny * ny + nz * nz);
           nx = nx * nl;
           ny = ny * nl;
@@ -116,12 +132,24 @@ macro_rules! tracer_body {
             nz = 0.0 - nz;
           }
           // accumulate emission
-          rx += tx * ", $scene, "[hit,4];
-          ry += ty * ", $scene, "[hit,5];
-          rz += tz * ", $scene, "[hit,6];
-          tx *= ", $scene, "[hit,7];
-          ty *= ", $scene, "[hit,8];
-          tz *= ", $scene, "[hit,9];
+          rx += tx * ",
+            $scene,
+            "[hit,4];
+          ry += ty * ",
+            $scene,
+            "[hit,5];
+          rz += tz * ",
+            $scene,
+            "[hit,6];
+          tx *= ",
+            $scene,
+            "[hit,7];
+          ty *= ",
+            $scene,
+            "[hit,8];
+          tz *= ",
+            $scene,
+            "[hit,9];
           // russian roulette
           if (depth >= rrd) {
             state = (state ^ (state << 13)) & 4294967295;
@@ -401,11 +429,7 @@ impl RaytracerProblem {
 
     /// Estimated flop count (consistent estimate for GFLOPS reporting).
     pub fn flops(&self) -> f64 {
-        self.pixels() as f64
-            * self.samples as f64
-            * AVG_BOUNCES
-            * 9.0
-            * FLOPS_PER_SPHERE_TEST
+        self.pixels() as f64 * self.samples as f64 * AVG_BOUNCES * 9.0 * FLOPS_PER_SPHERE_TEST
     }
 
     pub fn job_flops(&self, pixels: u64) -> f64 {
@@ -490,8 +514,11 @@ impl RaytracerApp {
                 let dl = 1.0 / (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
                 d.iter_mut().for_each(|c| *c *= dl);
                 // As in smallpt: start 140 units forward, inside the box.
-                let (mut ox, mut oy, mut oz) =
-                    (50.0 + d[0] * 140.0, 52.0 + d[1] * 140.0, 295.6 + d[2] * 140.0);
+                let (mut ox, mut oy, mut oz) = (
+                    50.0 + d[0] * 140.0,
+                    52.0 + d[1] * 140.0,
+                    295.6 + d[2] * 140.0,
+                );
                 let (mut tx, mut ty, mut tz) = (1.0, 1.0, 1.0);
                 for depth in 0..MAX_DEPTH {
                     // nearest sphere
@@ -746,7 +773,10 @@ mod tests {
         let img = render(KernelSet::Unoptimized, "gtx480");
         let pr = small();
         assert_eq!(img.len() as u64, pr.pixels() * 3);
-        assert!(img.iter().all(|&v| (0.0..=20.0).contains(&v)), "radiance bounded");
+        assert!(
+            img.iter().all(|&v| (0.0..=20.0).contains(&v)),
+            "radiance bounded"
+        );
         let mean: f64 = img.iter().sum::<f64>() / img.len() as f64;
         assert!(mean > 0.05, "scene is lit (mean {mean})");
         // The left wall is red-ish, the right wall blue-ish: compare red
@@ -786,10 +816,7 @@ mod tests {
         let b = render(KernelSet::Optimized, "gtx480");
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (ma, mb) = (mean(&a), mean(&b));
-        assert!(
-            (ma - mb).abs() / ma < 0.05,
-            "means differ: {ma} vs {mb}"
-        );
+        assert!((ma - mb).abs() / ma < 0.05, "means differ: {ma} vs {mb}");
     }
 
     #[test]

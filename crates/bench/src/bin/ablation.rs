@@ -161,9 +161,19 @@ fn main() {
          nodes — light transfers, so pipelining trades against hoarding)\n"
     );
     let mut t = Table::new(&["management slots", "makespan", "vs 2 slots"]);
-    let slots_base = kmeans_on(&ClusterSpec::paper_hetero_kmeans(), Policy::Scenario, 2, 67_000_000);
+    let slots_base = kmeans_on(
+        &ClusterSpec::paper_hetero_kmeans(),
+        Policy::Scenario,
+        2,
+        67_000_000,
+    );
     for slots in [1usize, 2, 4] {
-        let m = kmeans_on(&ClusterSpec::paper_hetero_kmeans(), Policy::Scenario, slots, 67_000_000);
+        let m = kmeans_on(
+            &ClusterSpec::paper_hetero_kmeans(),
+            Policy::Scenario,
+            slots,
+            67_000_000,
+        );
         t.row(vec![
             slots.to_string(),
             format!("{m:.2}s"),

@@ -8,10 +8,18 @@
 //!
 //! ```text
 //! cargo run --release -p cashmere-bench --bin hetero
+//! cargo run --release -p cashmere-bench --bin hetero -- --faults plan.json
 //! ```
+//!
+//! With `--faults`, the JSON fault plan (node crashes, device failures,
+//! lossy links, transient launch faults) is injected into the measured
+//! heterogeneous runs and each run's failure accounting is printed; the
+//! single-node calibration runs stay fault-free.
 
 use cashmere::ClusterSpec;
-use cashmere_bench::{run_app, write_json, AppId, Series, Table};
+use cashmere_bench::{
+    fault_plan_from_args, run_app, run_app_with_faults, write_json, AppId, Series, Table,
+};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -43,10 +51,15 @@ fn config_for(app: AppId) -> (ClusterSpec, &'static str) {
 }
 
 fn main() {
+    let (faults, _rest) = fault_plan_from_args();
     println!("Table III + Fig. 15: heterogeneous executions (optimized kernels)\n");
     let mut json = Vec::new();
     let mut t3 = Table::new(&["application", "GFLOPS", "configuration"]);
-    let mut f15 = Table::new(&["application", "heterogeneous eff.", "homogeneous eff. (16 gtx480)"]);
+    let mut f15 = Table::new(&[
+        "application",
+        "heterogeneous eff.",
+        "homogeneous eff. (16 gtx480)",
+    ]);
 
     for app in AppId::ALL {
         let (spec, desc) = config_for(app);
@@ -63,13 +76,16 @@ fn main() {
             let r = run_app(app, Series::CashmereOpt, &one, 42);
             single.insert(devs.clone(), r.gflops);
         }
-        let attainable: f64 = spec
-            .node_devices
-            .iter()
-            .map(|d| single[d])
-            .sum();
+        let attainable: f64 = spec.node_devices.iter().map(|d| single[d]).sum();
 
-        let hetero = run_app(app, Series::CashmereOpt, &spec, 42);
+        let hetero = run_app_with_faults(app, Series::CashmereOpt, &spec, 42, faults.clone());
+        if let Some(f) = &hetero.failure_summary {
+            println!("{} under injected faults:", app.name());
+            for line in f.lines() {
+                println!("  {line}");
+            }
+            println!();
+        }
         let hetero_eff = hetero.gflops / attainable;
 
         // Homogeneous comparison: 16 GTX480 nodes vs 16× one GTX480 node.

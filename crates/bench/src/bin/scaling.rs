@@ -6,10 +6,16 @@
 //! ```text
 //! cargo run --release -p cashmere-bench --bin scaling              # all apps
 //! cargo run --release -p cashmere-bench --bin scaling -- matmul    # one app
+//! cargo run --release -p cashmere-bench --bin scaling -- --faults plan.json
 //! ```
+//!
+//! With `--faults`, the JSON fault plan is injected into every run it
+//! validates for (a plan crashing node 2 skips the 1- and 2-node runs) and
+//! each affected run's failure accounting is printed under its row.
 
 use cashmere::ClusterSpec;
-use cashmere_bench::{run_app, write_json, AppId, Series, Table};
+use cashmere_bench::{fault_plan_from_args, run_app_with_faults, write_json, AppId, Series, Table};
+use cashmere_des::fault::FaultPlan;
 use serde::Serialize;
 
 const NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -34,25 +40,23 @@ fn figure_number(app: AppId) -> (&'static str, &'static str) {
     }
 }
 
-fn run_one(app: AppId, json: &mut Vec<Point>) {
+fn run_one(app: AppId, faults: &FaultPlan, json: &mut Vec<Point>) {
     let (fig_scal, fig_abs) = figure_number(app);
     println!(
         "{fig_scal} (scalability) / {fig_abs} (absolute performance): {} up to 16 GTX480 nodes\n",
         app.name()
     );
-    let mut t = Table::new(&[
-        "series",
-        "nodes",
-        "makespan",
-        "speedup",
-        "GFLOPS",
-        "steals",
-    ]);
+    let mut t = Table::new(&["series", "nodes", "makespan", "speedup", "GFLOPS", "steals"]);
     for series in Series::ALL {
         let mut base: Option<f64> = None;
         for nodes in NODE_COUNTS {
             let spec = ClusterSpec::homogeneous(nodes, "gtx480");
-            let r = run_app(app, series, &spec, 42);
+            let r = run_app_with_faults(app, series, &spec, 42, faults.clone());
+            if let Some(f) = &r.failure_summary {
+                for line in f.lines() {
+                    println!("    [{} n={nodes}] {line}", series.name());
+                }
+            }
             let b = *base.get_or_insert(r.makespan_s);
             let speedup = b / r.makespan_s;
             t.row(vec![
@@ -78,7 +82,8 @@ fn run_one(app: AppId, json: &mut Vec<Point>) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    let (faults, rest) = fault_plan_from_args();
+    let arg = rest.get(1).cloned();
     let apps: Vec<AppId> = match arg.as_deref() {
         None => AppId::ALL.to_vec(),
         Some(s) => match AppId::parse(s) {
@@ -91,7 +96,7 @@ fn main() {
     };
     let mut json = Vec::new();
     for app in &apps {
-        run_one(*app, &mut json);
+        run_one(*app, &faults, &mut json);
     }
     // Single-app runs get their own file so they never clobber the full
     // four-app dataset.

@@ -13,20 +13,65 @@ fn table1() {
     println!("Table I: TOP500 supercomputers with heterogeneous many-core devices");
     println!("(as of November 2014, reproduced from the paper)\n");
     let rows: &[(&str, &str, u32, &str)] = &[
-        ("Quartetto", "Kyushu University", 49, "K20, K20X, Xeon Phi 5110P"),
-        ("Lomonosov", "Moscow State University", 58, "2070, PowerXCell 8i"),
-        ("HYDRA", "Max-Planck-Gesellschaft MPI/IPP", 77, "K20X, Xeon Phi"),
-        ("SuperMIC", "Louisiana State University", 88, "Xeon Phi 7110P, K20X"),
+        (
+            "Quartetto",
+            "Kyushu University",
+            49,
+            "K20, K20X, Xeon Phi 5110P",
+        ),
+        (
+            "Lomonosov",
+            "Moscow State University",
+            58,
+            "2070, PowerXCell 8i",
+        ),
+        (
+            "HYDRA",
+            "Max-Planck-Gesellschaft MPI/IPP",
+            77,
+            "K20X, Xeon Phi",
+        ),
+        (
+            "SuperMIC",
+            "Louisiana State University",
+            88,
+            "Xeon Phi 7110P, K20X",
+        ),
         ("Palmetto2", "Clemson University", 89, "K20m, M2075, M2070"),
         ("Armstrong", "Navy DSRC", 103, "Xeon Phi 5120D, K40"),
-        ("Loewe-CSC", "Universitaet Frankfurt", 179, "HD5870, FirePro S10000"),
-        ("Inspur TS10000", "Shanghai Jiaotong University", 310, "K20m, Xeon Phi 5110P"),
-        ("Tsubame 2.5", "Tokyo Institute of Technology", 392, "K20X, S1070, S2070"),
-        ("El Gato", "University of Arizona", 465, "K20, K20X, Xeon Phi 5110P"),
+        (
+            "Loewe-CSC",
+            "Universitaet Frankfurt",
+            179,
+            "HD5870, FirePro S10000",
+        ),
+        (
+            "Inspur TS10000",
+            "Shanghai Jiaotong University",
+            310,
+            "K20m, Xeon Phi 5110P",
+        ),
+        (
+            "Tsubame 2.5",
+            "Tokyo Institute of Technology",
+            392,
+            "K20X, S1070, S2070",
+        ),
+        (
+            "El Gato",
+            "University of Arizona",
+            465,
+            "K20, K20X, Xeon Phi 5110P",
+        ),
     ];
     let mut t = Table::new(&["name", "institute", "ranking", "configuration"]);
     for (n, i, r, c) in rows {
-        t.row(vec![n.to_string(), i.to_string(), r.to_string(), c.to_string()]);
+        t.row(vec![
+            n.to_string(),
+            i.to_string(),
+            r.to_string(),
+            c.to_string(),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -17,4 +17,7 @@ pub mod output;
 pub mod runners;
 
 pub use output::{write_json, Table};
-pub use runners::{kernel_gflops, paper_sim_config, run_app, AppId, RunOutcome, Series};
+pub use runners::{
+    fault_plan_from_args, kernel_gflops, load_fault_plan, paper_sim_config, run_app,
+    run_app_with_faults, AppId, RunOutcome, Series,
+};

@@ -12,10 +12,11 @@ use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
 use cashmere_apps::nbody::{self, NbodyApp, NbodyProblem};
 use cashmere_apps::raytracer::{RaytracerApp, RaytracerProblem};
 use cashmere_apps::{AppMode, KernelSet};
+use cashmere_des::fault::FaultPlan;
 use cashmere_devsim::{ExecMode, SimDevice};
 use cashmere_hwdesc::DeviceKind;
 use cashmere_mcl::interp::Sampling;
-use cashmere_satin::{ClusterSim, SimConfig};
+use cashmere_satin::{ClusterSim, RunReport, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -83,6 +84,9 @@ pub struct RunOutcome {
     pub cpu_fallbacks: u64,
     pub steals_ok: u64,
     pub network_bytes: u64,
+    /// Failure-accounting section of the run report; present only when the
+    /// run observed injected faults (`--faults`).
+    pub failure_summary: Option<String>,
 }
 
 /// Node-level grain at paper scale. The light-communication applications
@@ -94,9 +98,9 @@ pub struct RunOutcome {
 fn node_grain(app: AppId) -> u64 {
     match app {
         AppId::Raytracer => RaytracerProblem::paper().pixels() / 1024,
-        AppId::Matmul => 128,              // 32768 rows / 128 = 256 jobs
-        AppId::Kmeans => 262_144,          // ≈1024 jobs of 268 M points
-        AppId::Nbody => 1_954,             // 2 M bodies / 1024
+        AppId::Matmul => 128,     // 32768 rows / 128 = 256 jobs
+        AppId::Kmeans => 262_144, // ≈1024 jobs of 268 M points
+        AppId::Nbody => 1_954,    // 2 M bodies / 1024
     }
 }
 
@@ -128,16 +132,79 @@ fn kernel_set(series: Series) -> KernelSet {
     }
 }
 
+/// Load a fault plan from a JSON file (the bench bins' `--faults` flag).
+pub fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Split `--faults <plan.json>` out of argv. Returns the loaded plan (empty
+/// when the flag is absent) and the remaining arguments, argv[0] included.
+/// Exits with a message on a missing or unreadable plan.
+pub fn fault_plan_from_args() -> (FaultPlan, Vec<String>) {
+    let mut rest = Vec::new();
+    let mut plan = FaultPlan::default();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            let Some(path) = args.next() else {
+                eprintln!("--faults requires a path to a JSON fault plan");
+                std::process::exit(2);
+            };
+            match load_fault_plan(&path) {
+                Ok(p) => plan = p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    (plan, rest)
+}
+
+fn failures_of(r: &RunReport) -> Option<String> {
+    r.saw_failures().then(|| r.failure_summary())
+}
+
 /// Run one application in one series on the given cluster; phantom mode,
 /// paper problem sizes.
 pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> RunOutcome {
-    let cfg = paper_sim_config(series, seed);
+    run_app_with_faults(app, series, spec, seed, FaultPlan::default())
+}
+
+/// [`run_app`] with an injected fault plan. Plans that do not validate for
+/// this cluster size (e.g. crashing a node the spec does not have) are
+/// skipped with a note, so one plan can ride through a whole node sweep.
+pub fn run_app_with_faults(
+    app: AppId,
+    series: Series,
+    spec: &ClusterSpec,
+    seed: u64,
+    faults: FaultPlan,
+) -> RunOutcome {
+    let mut cfg = paper_sim_config(series, seed);
+    match faults.validate(spec.nodes()) {
+        Ok(()) => cfg.faults = faults,
+        Err(e) => {
+            if !faults.is_empty() {
+                eprintln!(
+                    "note: fault plan skipped for the {}-node {} run: {e}",
+                    spec.nodes(),
+                    series.name()
+                );
+            }
+        }
+    }
+    let cfg = cfg;
     let rt_cfg = RuntimeConfig::default();
     let grain = node_grain(app);
     // Satin: leaves sized for a single core (8× more jobs per node).
     let satin_grain = (grain / 8).max(1);
 
-    let (makespan_s, total_flops, kernels, fallbacks, steals, bytes) = match app {
+    let (makespan_s, total_flops, kernels, fallbacks, steals, bytes, failures) = match app {
         AppId::Raytracer => {
             let pr = RaytracerProblem::paper();
             match series {
@@ -145,10 +212,25 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                     let a = Arc::new(RaytracerApp::new(pr, AppMode::Phantom, satin_grain, 1));
                     let rt = a.satin_runtime();
                     let app2 = RaytracerApp::new(pr, AppMode::Phantom, satin_grain, 1);
-                    let mut cs = ClusterSim::new(app2, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let mut cs = ClusterSim::new(
+                        app2,
+                        rt,
+                        SimConfig {
+                            nodes: spec.nodes(),
+                            ..cfg
+                        },
+                    );
                     let _ = cs.run_root((0, pr.pixels()));
                     let r = cs.report();
-                    (r.makespan.as_secs_f64(), pr.flops(), 0, 0, r.steals_ok, r.bytes_total())
+                    (
+                        r.makespan.as_secs_f64(),
+                        pr.flops(),
+                        0,
+                        0,
+                        r.steals_ok,
+                        r.bytes_total(),
+                        failures_of(r),
+                    )
                 }
                 _ => {
                     let a = RaytracerApp::new(pr, AppMode::Phantom, grain, DEVICE_JOBS);
@@ -163,6 +245,7 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                         l.cpu_fallbacks,
                         r.steals_ok,
                         r.bytes_total(),
+                        failures_of(r),
                     )
                 }
             }
@@ -174,7 +257,14 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                     let a = MatmulApp::phantom(pr, satin_grain, 1);
                     let root = a.row_job(0, pr.n);
                     let rt = a.satin_runtime();
-                    let mut cs = ClusterSim::new(a, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let mut cs = ClusterSim::new(
+                        a,
+                        rt,
+                        SimConfig {
+                            nodes: spec.nodes(),
+                            ..cfg
+                        },
+                    );
                     // Strong scaling includes distributing B to every node —
                     // the O(n²) traffic that makes matmul communication-heavy.
                     let start = cs.now();
@@ -189,6 +279,7 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                         0,
                         r.steals_ok,
                         r.bytes_total(),
+                        failures_of(r),
                     )
                 }
                 _ => {
@@ -208,6 +299,7 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                         l.cpu_fallbacks,
                         r.steals_ok,
                         r.bytes_total(),
+                        failures_of(r),
                     )
                 }
             }
@@ -220,10 +312,25 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                     let rt = a.satin_runtime();
                     let app2 = KmeansApp::phantom(pr, satin_grain, 1);
                     let cents = app2.centroids.clone();
-                    let mut cs = ClusterSim::new(app2, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let mut cs = ClusterSim::new(
+                        app2,
+                        rt,
+                        SimConfig {
+                            nodes: spec.nodes(),
+                            ..cfg
+                        },
+                    );
                     let (_, elapsed) = kmeans::run_iterations(&mut cs, &pr, &cents, false);
                     let r = cs.report();
-                    (elapsed.as_secs_f64(), pr.total_flops(), 0, 0, r.steals_ok, r.bytes_total())
+                    (
+                        elapsed.as_secs_f64(),
+                        pr.total_flops(),
+                        0,
+                        0,
+                        r.steals_ok,
+                        r.bytes_total(),
+                        failures_of(r),
+                    )
                 }
                 _ => {
                     let a = KmeansApp::phantom(pr, grain, DEVICE_JOBS);
@@ -239,6 +346,7 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                         l.cpu_fallbacks,
                         r.steals_ok,
                         r.bytes_total(),
+                        failures_of(r),
                     )
                 }
             }
@@ -250,10 +358,25 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                     let a = Arc::new(NbodyApp::phantom(pr, satin_grain, 1));
                     let rt = a.satin_runtime();
                     let app2 = NbodyApp::phantom(pr, satin_grain, 1);
-                    let mut cs = ClusterSim::new(app2, rt, SimConfig { nodes: spec.nodes(), ..cfg });
+                    let mut cs = ClusterSim::new(
+                        app2,
+                        rt,
+                        SimConfig {
+                            nodes: spec.nodes(),
+                            ..cfg
+                        },
+                    );
                     let elapsed = nbody::run_iterations(&mut cs, &pr, |_| {});
                     let r = cs.report();
-                    (elapsed.as_secs_f64(), pr.total_flops(), 0, 0, r.steals_ok, r.bytes_total())
+                    (
+                        elapsed.as_secs_f64(),
+                        pr.total_flops(),
+                        0,
+                        0,
+                        r.steals_ok,
+                        r.bytes_total(),
+                        failures_of(r),
+                    )
                 }
                 _ => {
                     let a = NbodyApp::phantom(pr, grain, DEVICE_JOBS);
@@ -268,6 +391,7 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
                         l.cpu_fallbacks,
                         r.steals_ok,
                         r.bytes_total(),
+                        failures_of(r),
                     )
                 }
             }
@@ -284,6 +408,7 @@ pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> Run
         cpu_fallbacks: fallbacks,
         steals_ok: steals,
         network_bytes: bytes,
+        failure_summary: failures,
     }
 }
 
@@ -309,8 +434,7 @@ pub fn kernel_gflops(app: AppId, set: KernelSet, device: DeviceKind) -> Option<f
             let a = MatmulApp::phantom(pr, node_grain(app), DEVICE_JOBS);
             // One device job exactly as the cluster runs produce them: a
             // node-grain row stripe × one of the 8 column panels.
-            let djob =
-                cashmere::CashmereApp::device_jobs(&a, &a.row_job(0, node_grain(app)))[0];
+            let djob = cashmere::CashmereApp::device_jobs(&a, &a.row_job(0, node_grain(app)))[0];
             (
                 MatmulApp::registry(set),
                 cashmere::CashmereApp::kernel_call(&a, &djob),

@@ -46,6 +46,8 @@ pub struct QueueView {
 pub struct Balancer {
     speeds: Vec<f64>,
     queued: Vec<usize>,
+    /// Devices permanently retired (failed); never chosen again.
+    dead: Vec<bool>,
     /// Measured execution time per (kernel, device index).
     measured: HashMap<(String, usize), SimTime>,
     /// Selection policy (ablation knob; the paper's algorithm by default).
@@ -60,10 +62,31 @@ impl Balancer {
         Balancer {
             speeds: relative_speeds.to_vec(),
             queued: vec![0; relative_speeds.len()],
+            dead: vec![false; relative_speeds.len()],
             measured: HashMap::new(),
             policy: Policy::Scenario,
             rr_next: 0,
         }
+    }
+
+    /// Permanently retire a failed device: it is never chosen again, its
+    /// queue no longer contributes to scenario makespans, and its
+    /// measurements are dropped (they must not seed extrapolation for the
+    /// survivors).
+    pub fn retire_device(&mut self, device: usize) {
+        self.dead[device] = true;
+        self.queued[device] = 0;
+        self.measured.retain(|(_, d), _| *d != device);
+    }
+
+    /// Is `device` retired?
+    pub fn is_retired(&self, device: usize) -> bool {
+        self.dead[device]
+    }
+
+    /// Are any devices still usable?
+    pub fn any_alive(&self) -> bool {
+        self.dead.iter().any(|d| !d)
     }
 
     pub fn device_count(&self) -> usize {
@@ -151,7 +174,7 @@ impl Balancer {
                 let n = self.speeds.len();
                 for k in 0..n {
                     let d = (self.rr_next + k) % n;
-                    if allowed[d] {
+                    if allowed[d] && !self.dead[d] {
                         self.rr_next = (d + 1) % n;
                         return Some(d);
                     }
@@ -161,7 +184,7 @@ impl Balancer {
             Policy::FastestOnly => {
                 let times = self.estimates(kernel);
                 (0..self.speeds.len())
-                    .filter(|&d| allowed[d])
+                    .filter(|&d| allowed[d] && !self.dead[d])
                     .min_by(|&a, &b| times[a].total_cmp(&times[b]))
             }
         }
@@ -174,6 +197,9 @@ impl Balancer {
         let times = self.estimates(kernel);
         let mut best: Option<(usize, f64)> = None;
         for d in 0..self.speeds.len() {
+            if self.dead[d] {
+                continue;
+            }
             if let Some(mask) = allowed {
                 if !mask[d] {
                     continue;
@@ -181,6 +207,9 @@ impl Balancer {
             }
             let mut scenario: f64 = 0.0;
             for (e, t) in times.iter().enumerate() {
+                if self.dead[e] {
+                    continue;
+                }
                 let q = self.queued[e] + usize::from(e == d);
                 scenario = scenario.max(q as f64 * t);
             }
@@ -218,7 +247,11 @@ mod tests {
         b.on_submit(1);
         // scenario1 = max(4·100, 1·125) = 400; scenario2 = max(3·100, 2·125)
         // = 300 ⇒ GTX480 wins.
-        assert_eq!(b.choose("k"), 1, "the paper's example submits to the GTX480");
+        assert_eq!(
+            b.choose("k"),
+            1,
+            "the paper's example submits to the GTX480"
+        );
     }
 
     #[test]
@@ -298,6 +331,30 @@ mod tests {
     #[should_panic(expected = "≥1 device")]
     fn empty_device_list_rejected() {
         let _ = Balancer::new(&[]);
+    }
+
+    #[test]
+    fn retired_devices_are_never_chosen() {
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        b.on_submit(0);
+        b.on_complete("k", 0, ms(100));
+        // A long queue on the dead device must not distort scenarios either.
+        for _ in 0..5 {
+            b.on_submit(0);
+        }
+        b.retire_device(0);
+        assert!(b.is_retired(0));
+        assert!(b.any_alive());
+        // Its measurement is gone, so the survivor falls back to the static
+        // table rather than extrapolating from a dead device.
+        assert!(!b.has_measurement("k"));
+        for _ in 0..4 {
+            assert_eq!(b.choose_among("k", &[true, true]), Some(1));
+            b.on_submit(1);
+        }
+        b.retire_device(1);
+        assert!(!b.any_alive());
+        assert_eq!(b.choose_among("k", &[true, true]), None);
     }
 
     #[test]

@@ -70,9 +70,8 @@ pub fn initialize(registry: &KernelRegistry, spec: &ClusterSpec, net: &NetConfig
     // Master → slaves broadcast of the run-time information (sequential
     // sends on the master's NIC).
     let slaves = spec.nodes().saturating_sub(1) as u64;
-    let broadcast = SimTime::from_secs_f64(
-        net.wire_time(RUNTIME_INFO_BYTES).as_secs_f64() * slaves as f64,
-    );
+    let broadcast =
+        SimTime::from_secs_f64(net.wire_time(RUNTIME_INFO_BYTES).as_secs_f64() * slaves as f64);
 
     InitReport {
         duration: broadcast + slowest_node,

@@ -259,7 +259,10 @@ mod tests {
             },
         )
         .unwrap();
-        let n = 512 * 1024;
+        // Enough node leaves (n / node_grain = 256) that every one of the
+        // 15 nodes sees work regardless of the steal-victim stream; with
+        // fewer leaves the set of winning nodes is seed-sensitive.
+        let n = 2 * 1024 * 1024;
         let out = cluster.run_root((0, n));
         assert_eq!(out, expected(n));
         let rt = cluster.leaf_runtime();
@@ -407,6 +410,54 @@ mod tests {
     }
 
     #[test]
+    fn gpu_death_degrades_to_cpu_and_still_answers() {
+        use cashmere_des::fault::{DeviceFailure, FaultPlan};
+        let app = DoubleApp {
+            node_grain: 4096,
+            dev_jobs: 8,
+        };
+        // Node 1's only GPU dies mid-run: its remaining device jobs must
+        // degrade to leafCPU and the cluster still produces the exact sum.
+        let faults = FaultPlan {
+            device_failures: vec![DeviceFailure {
+                node: 1,
+                device: 0,
+                at: SimTime::from_micros(100),
+            }],
+            ..FaultPlan::default()
+        };
+        let spec = ClusterSpec::homogeneous(2, "gtx480");
+        let mut cluster = build_cluster(
+            app,
+            registry(),
+            &spec,
+            SimConfig {
+                faults,
+                ..SimConfig::default()
+            },
+            RuntimeConfig {
+                functional: true,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let n = 64 * 1024;
+        let out = cluster.run_root((0, n));
+        assert_eq!(out, expected(n), "exact answer despite the dead GPU");
+        let r = cluster.report().clone();
+        assert_eq!(r.devices_lost, 1);
+        assert!(r.saw_failures());
+        assert!(
+            r.fault_cpu_fallbacks > 0,
+            "jobs on node 1 after the death must run leafCPU: {}",
+            r.failure_summary()
+        );
+        let rt = cluster.leaf_runtime();
+        assert!(rt.nodes[1].devices[0].dead);
+        assert!(rt.cpu_fallbacks >= r.fault_cpu_fallbacks);
+    }
+
+    #[test]
     fn deterministic_heterogeneous_run() {
         let run = || {
             let app = DoubleApp {
@@ -422,7 +473,10 @@ mod tests {
             )
             .unwrap();
             let _ = cluster.run_root((0, 1 << 22));
-            (cluster.report().makespan, cluster.leaf_runtime().kernels_run)
+            (
+                cluster.report().makespan,
+                cluster.leaf_runtime().kernels_run,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -76,8 +76,8 @@ impl Cashmere {
     /// Build a context for the device named `device` (a leaf level of the
     /// registry's hierarchy).
     pub fn new(registry: KernelRegistry, device: &str) -> Result<Cashmere, LaunchError> {
-        let dev = SimDevice::by_name(registry.hierarchy(), device)
-            .map_err(LaunchError::NoDevice)?;
+        let dev =
+            SimDevice::by_name(registry.hierarchy(), device).map_err(LaunchError::NoDevice)?;
         Ok(Cashmere {
             registry,
             device: dev,
@@ -98,9 +98,10 @@ impl Cashmere {
             let mut sugg = self
                 .registry
                 .coverage_suggestions(name, &[self.device.level]);
-            return Err(LaunchError::NoKernel(sugg.pop().unwrap_or_else(|| {
-                format!("kernel `{name}` is not registered")
-            })));
+            return Err(LaunchError::NoKernel(
+                sugg.pop()
+                    .unwrap_or_else(|| format!("kernel `{name}` is not registered")),
+            ));
         }
         Ok(KernelHandle {
             cashmere: self,
@@ -167,12 +168,7 @@ impl KernelLaunch<'_> {
         let run: KernelRun = self
             .cashmere
             .device
-            .run_kernel(
-                self.cashmere.registry.hierarchy(),
-                ck,
-                args,
-                ExecMode::Full,
-            )
+            .run_kernel(self.cashmere.registry.hierarchy(), ck, args, ExecMode::Full)
             .map_err(|e| LaunchError::Runtime(e.to_string()))?;
         // Round trip over PCIe: everything in, mutated arrays back. (The
         // cluster runtime tracks exact in/out sets; the facade is

@@ -196,7 +196,9 @@ mod tests {
         assert_eq!(h.name(gtx.level), "gpu");
         let phi = r.select("axpy", DeviceKind::XeonPhi.level(h)).unwrap();
         assert_eq!(h.name(phi.level), "perfect");
-        assert!(r.select("nonexistent", DeviceKind::Gtx480.level(h)).is_none());
+        assert!(r
+            .select("nonexistent", DeviceKind::Gtx480.level(h))
+            .is_none());
     }
 
     #[test]
@@ -222,10 +224,7 @@ mod tests {
         )
         .unwrap();
         let h = standard_hierarchy();
-        let devices = vec![
-            DeviceKind::Gtx480.level(&h),
-            DeviceKind::Hd7970.level(&h),
-        ];
+        let devices = vec![DeviceKind::Gtx480.level(&h), DeviceKind::Hd7970.level(&h)];
         let sugg = r.coverage_suggestions("only_amd", &devices);
         assert_eq!(sugg.len(), 1);
         assert!(sugg[0].contains("gtx480"));
@@ -236,10 +235,14 @@ mod tests {
         let r = registry();
         let h = standard_hierarchy();
         // gpu version pins 256 threads.
-        let cfg = r.launch_config("axpy", DeviceKind::Gtx480.level(&h)).unwrap();
+        let cfg = r
+            .launch_config("axpy", DeviceKind::Gtx480.level(&h))
+            .unwrap();
         assert_eq!(cfg.group_size, 256);
         // perfect version on phi: class default.
-        let cfg = r.launch_config("axpy", DeviceKind::XeonPhi.level(&h)).unwrap();
+        let cfg = r
+            .launch_config("axpy", DeviceKind::XeonPhi.level(&h))
+            .unwrap();
         assert_eq!(cfg.warp_width, 16);
     }
 

@@ -25,13 +25,14 @@
 
 use crate::balancer::Balancer;
 use crate::registry::{arg_shape, KernelRegistry, StatsKey};
+use cashmere_des::fault::FaultInjector;
 use cashmere_des::trace::{LaneId, SpanKind, Trace};
 use cashmere_des::SimTime;
 use cashmere_devsim::{ExecMode, SimDevice};
 use cashmere_mcl::cost::estimate_time;
 use cashmere_mcl::launch::LaunchConfig;
 use cashmere_mcl::value::ArgValue;
-use cashmere_satin::{ClusterApp, LeafPlan, LeafRuntime};
+use cashmere_satin::{ClusterApp, LeafCtx, LeafPlan, LeafRuntime, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// Description of one kernel invocation (the paper's
@@ -133,6 +134,8 @@ pub struct DeviceSlot {
     /// Resident (kernel-shared) buffers already on the device, by kernel.
     resident: std::collections::HashMap<String, cashmere_devsim::BufferId>,
     pub jobs_run: u64,
+    /// Permanently failed (injected device death); never used again.
+    pub dead: bool,
 }
 
 /// Devices + balancer of one node.
@@ -193,6 +196,7 @@ impl CashmereLeafRuntime {
                     allocations: Vec::new(),
                     resident: std::collections::HashMap::new(),
                     jobs_run: 0,
+                    dead: false,
                 });
             }
             let mut balancer = Balancer::new(&speeds);
@@ -221,8 +225,34 @@ impl CashmereLeafRuntime {
         }
     }
 
+    /// Permanently retire device `didx` of `nd` at virtual time `at`: pull
+    /// its engine timelines back to `at` (work beyond the failure never
+    /// happens), release every buffer, forget pending completions, and
+    /// remove it from the balancer.
+    fn kill_device(nd: &mut NodeDevices, didx: usize, at: SimTime, report: &mut RunReport) {
+        let slot = &mut nd.devices[didx];
+        slot.dead = true;
+        slot.sim.abort_after(at);
+        for (_, id) in slot.allocations.drain(..) {
+            slot.sim.memory.free(id);
+        }
+        for (_, id) in slot.resident.drain() {
+            slot.sim.memory.free(id);
+        }
+        nd.pending.retain(|p| p.1 != didx);
+        nd.balancer.retire_device(didx);
+        report.devices_lost += 1;
+    }
+
     /// Execute one device job: balancer choice, transfers, kernel. Returns
     /// `(completion_time, output)`.
+    ///
+    /// Faults enter here in three ways: devices whose injected death is due
+    /// are retired before the choice; a transient launch fault costs a
+    /// retry (bounded budget, then `leafCPU`); and a job that would still
+    /// be on a device when that device dies is aborted and resubmitted to
+    /// the survivors (or the CPU).
+    #[allow(clippy::too_many_arguments)]
     fn run_device_job<A: CashmereApp>(
         &mut self,
         app: &A,
@@ -231,29 +261,112 @@ impl CashmereLeafRuntime {
         submit_at: SimTime,
         cpu_cursor: &mut SimTime,
         trace: &mut Trace,
+        faults: &mut FaultInjector,
+        report: &mut RunReport,
     ) -> (SimTime, A::Output) {
+        const LAUNCH_RETRY_BUDGET: u32 = 3;
+        let launch_retry_penalty = SimTime::from_micros(50);
+
         let call = app.kernel_call(job);
-        let nd = &mut self.nodes[node];
-        nd.reap(submit_at);
+        let mut submit_at = submit_at;
+        let mut launch_attempts = 0u32;
+        loop {
+            let nd = &mut self.nodes[node];
+            // Retire every device whose injected death is due by now.
+            for d in 0..nd.devices.len() {
+                if !nd.devices[d].dead {
+                    if let Some(death) = faults.device_death(node, d) {
+                        if death <= submit_at {
+                            Self::kill_device(nd, d, death, report);
+                        }
+                    }
+                }
+            }
+            nd.reap(submit_at);
 
-        // Devices that actually have an applicable kernel version.
-        let allowed: Vec<bool> = nd
-            .devices
-            .iter()
-            .map(|d| self.registry.select(&call.kernel, d.sim.level).is_some())
-            .collect();
+            // Devices that actually have an applicable kernel version.
+            let kernel_ok: Vec<bool> = nd
+                .devices
+                .iter()
+                .map(|d| self.registry.select(&call.kernel, d.sim.level).is_some())
+                .collect();
+            let allowed: Vec<bool> = kernel_ok
+                .iter()
+                .zip(&nd.devices)
+                .map(|(ok, d)| *ok && !d.dead)
+                .collect();
 
-        let chosen = nd.balancer.choose_among(&call.kernel, &allowed);
-        let Some(didx) = chosen else {
-            // No device can run this kernel: leafCPU fallback, serialized on
-            // the managing core.
-            self.cpu_fallbacks += 1;
-            let (cpu, out) = app.leaf_cpu(job);
-            let done = (*cpu_cursor).max(submit_at) + cpu;
-            *cpu_cursor = done;
+            let chosen = nd.balancer.choose_among(&call.kernel, &allowed);
+            let Some(didx) = chosen else {
+                // No device can run this kernel: leafCPU fallback,
+                // serialized on the managing core. Attribute it to faults
+                // when a lost device would otherwise have qualified.
+                if kernel_ok
+                    .iter()
+                    .zip(&nd.devices)
+                    .any(|(ok, d)| *ok && d.dead)
+                {
+                    report.fault_cpu_fallbacks += 1;
+                }
+                self.cpu_fallbacks += 1;
+                let (cpu, out) = app.leaf_cpu(job);
+                let done = (*cpu_cursor).max(submit_at) + cpu;
+                *cpu_cursor = done;
+                return (done, out);
+            };
+
+            // Transient launch fault (the paper's try/catch around
+            // MCL.launch()): pay a driver round-trip and retry; degrade to
+            // the CPU leaf once the budget is spent.
+            if faults.launch_fault(node, didx, submit_at) {
+                report.launch_retries += 1;
+                launch_attempts += 1;
+                if launch_attempts >= LAUNCH_RETRY_BUDGET {
+                    report.fault_cpu_fallbacks += 1;
+                    self.cpu_fallbacks += 1;
+                    let (cpu, out) = app.leaf_cpu(job);
+                    let done = (*cpu_cursor).max(submit_at) + cpu;
+                    *cpu_cursor = done;
+                    return (done, out);
+                }
+                submit_at += launch_retry_penalty;
+                continue;
+            }
+
+            let (done, out) = match self.schedule_on_device(
+                app, node, didx, job, &call, submit_at, cpu_cursor, trace, faults, report,
+            ) {
+                Ok(done_out) => done_out,
+                Err(resubmit_at) => {
+                    // The chosen device dies while this job would still be
+                    // on it: the job is lost and resubmitted to survivors.
+                    submit_at = submit_at.max(resubmit_at);
+                    continue;
+                }
+            };
             return (done, out);
-        };
+        }
+    }
 
+    /// Place one device job on the chosen device. Returns
+    /// `Err(death_time)` when the device's injected death aborts the job
+    /// in flight; `Ok((completion, output))` otherwise. Falls back to the
+    /// CPU only for memory exhaustion (pre-existing model behavior).
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_on_device<A: CashmereApp>(
+        &mut self,
+        app: &A,
+        node: usize,
+        didx: usize,
+        job: &A::Input,
+        call: &KernelCall,
+        submit_at: SimTime,
+        cpu_cursor: &mut SimTime,
+        trace: &mut Trace,
+        faults: &mut FaultInjector,
+        report: &mut RunReport,
+    ) -> Result<(SimTime, A::Output), SimTime> {
+        let nd = &mut self.nodes[node];
         // Device memory for inputs and outputs. "Cashmere automatically
         // manages the available memory on a device": under memory pressure
         // a job waits until earlier jobs' buffers are released (their d2h
@@ -266,13 +379,12 @@ impl CashmereLeafRuntime {
             let slot = &mut nd.devices[didx];
             // First job of this kernel on this device uploads the resident
             // data (kept for the rest of the run).
-            let resident_needed = if call.resident_bytes > 0
-                && !slot.resident.contains_key(&call.kernel)
-            {
-                call.resident_bytes
-            } else {
-                0
-            };
+            let resident_needed =
+                if call.resident_bytes > 0 && !slot.resident.contains_key(&call.kernel) {
+                    call.resident_bytes
+                } else {
+                    0
+                };
             loop {
                 // Reclaim everything that has drained by now.
                 let mut i = 0;
@@ -296,7 +408,7 @@ impl CashmereLeafRuntime {
                         let (cpu, out) = app.leaf_cpu(job);
                         let done = (*cpu_cursor).max(submit_at) + cpu;
                         *cpu_cursor = done;
-                        return (done, out);
+                        return Ok((done, out));
                     }
                 }
             }
@@ -317,7 +429,8 @@ impl CashmereLeafRuntime {
             .select(&call.kernel, nd.devices[didx].sim.level)
             .expect("allowed device has a version");
         let level = ck.level;
-        let cfg = LaunchConfig::for_device(ck, self.registry.hierarchy(), nd.devices[didx].sim.level);
+        let cfg =
+            LaunchConfig::for_device(ck, self.registry.hierarchy(), nd.devices[didx].sim.level);
         let key = StatsKey {
             kernel: call.kernel.clone(),
             level,
@@ -352,7 +465,12 @@ impl CashmereLeafRuntime {
         } else {
             let run = nd.devices[didx]
                 .sim
-                .run_kernel(self.registry.hierarchy(), ck, call.args.clone(), ExecMode::Full)
+                .run_kernel(
+                    self.registry.hierarchy(),
+                    ck,
+                    call.args.clone(),
+                    ExecMode::Full,
+                )
                 .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", call.kernel));
             (run.args, run.stats)
         };
@@ -381,6 +499,20 @@ impl CashmereLeafRuntime {
             let (dh_s, dh_e) = slot.sim.schedule_exec(ex_e, d2h_time);
             (h2d_s, h2d_e, ex_s, ex_e, dh_s, dh_e)
         };
+
+        // The device dies before this job drains: the partial device time
+        // is recovery cost, the device is retired, and the caller resubmits
+        // the job to the survivors.
+        if let Some(death) = faults.device_death(node, didx) {
+            if death < dh_e {
+                report.device_aborts += 1;
+                report.recovery_time += death.saturating_sub(h2d_s);
+                Self::kill_device(nd, didx, death, report);
+                return Err(death);
+            }
+        }
+
+        let slot = &mut nd.devices[didx];
         if let Ok(id) = slot.sim.memory.alloc(needed) {
             slot.allocations.push((dh_e, id));
         }
@@ -396,29 +528,47 @@ impl CashmereLeafRuntime {
                     l
                 }
             };
-            trace.record(lanes.h2d, SpanKind::CopyToDevice, call.kernel.clone(), h2d_s, h2d_e);
-            trace.record(lanes.exec, SpanKind::Kernel, call.kernel.clone(), ex_s, ex_e);
-            trace.record(lanes.d2h, SpanKind::CopyFromDevice, call.kernel.clone(), dh_s, dh_e);
+            trace.record(
+                lanes.h2d,
+                SpanKind::CopyToDevice,
+                call.kernel.clone(),
+                h2d_s,
+                h2d_e,
+            );
+            trace.record(
+                lanes.exec,
+                SpanKind::Kernel,
+                call.kernel.clone(),
+                ex_s,
+                ex_e,
+            );
+            trace.record(
+                lanes.d2h,
+                SpanKind::CopyFromDevice,
+                call.kernel.clone(),
+                dh_s,
+                dh_e,
+            );
         }
 
         nd.balancer.on_submit(didx);
         nd.pending
             .push((call.kernel.clone(), didx, kernel_time, dh_e));
 
-        (dh_e, app.job_output(job, args_back))
+        Ok((dh_e, app.job_output(job, args_back)))
     }
 }
 
 impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
-    fn plan(
-        &mut self,
-        app: &A,
-        node: usize,
-        input: &A::Input,
-        now: SimTime,
-        trace: &mut Trace,
-        _cpu_lane: LaneId,
-    ) -> LeafPlan<A::Output> {
+    fn plan(&mut self, app: &A, input: &A::Input, ctx: LeafCtx<'_>) -> LeafPlan<A::Output> {
+        let LeafCtx {
+            node,
+            now,
+            trace,
+            cpu_lane: _,
+            faults,
+            report,
+        } = ctx;
         let jobs = app.device_jobs(input);
         assert!(!jobs.is_empty(), "device_jobs must be non-empty");
         let mut submit = now;
@@ -427,7 +577,16 @@ impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
         let mut outputs = Vec::with_capacity(jobs.len());
         for job in &jobs {
             submit += self.config.submit_overhead;
-            let (d, out) = self.run_device_job(app, node, job, submit, &mut cpu_cursor, trace);
+            let (d, out) = self.run_device_job(
+                app,
+                node,
+                job,
+                submit,
+                &mut cpu_cursor,
+                trace,
+                faults,
+                report,
+            );
             done = done.max(d);
             outputs.push(out);
         }

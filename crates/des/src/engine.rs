@@ -292,12 +292,15 @@ mod tests {
             let mut sim: Sim<u64> = Sim::new(7);
             let mut world = 0u64;
             for i in 0..50u64 {
-                sim.schedule_at(SimTime::from_nanos(i % 7), move |w: &mut u64, s: &mut Sim<u64>| {
-                    *w = w.wrapping_mul(31).wrapping_add(i);
-                    s.schedule_in(SimTime::from_nanos(i), move |w: &mut u64, _| {
-                        *w = w.wrapping_add(i * i);
-                    });
-                });
+                sim.schedule_at(
+                    SimTime::from_nanos(i % 7),
+                    move |w: &mut u64, s: &mut Sim<u64>| {
+                        *w = w.wrapping_mul(31).wrapping_add(i);
+                        s.schedule_in(SimTime::from_nanos(i), move |w: &mut u64, _| {
+                            *w = w.wrapping_add(i * i);
+                        });
+                    },
+                );
             }
             sim.run(&mut world);
             (world, sim.now())

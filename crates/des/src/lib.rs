@@ -32,6 +32,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -39,6 +40,9 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Event, EventHandle, Sim};
+pub use fault::{
+    DeviceFailure, FaultInjector, FaultPlan, LaunchFaultWindow, LinkFault, MessageFate, NodeCrash,
+};
 pub use resource::Resource;
 pub use rng::StreamRng;
 pub use stats::{Counter, TimeWeighted};

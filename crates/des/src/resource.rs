@@ -138,16 +138,19 @@ mod tests {
         };
         // Five tasks, each holds a server for 10ns.
         for i in 0..5u32 {
-            sim.schedule_at(SimTime::from_nanos(u64::from(i)), move |w: &mut World, sim| {
-                with_res(w, sim, |res, sim| {
-                    res.acquire(sim, move |w: &mut World, sim| {
-                        w.order.push(i);
-                        sim.schedule_in(SimTime::from_nanos(10), move |w: &mut World, sim| {
-                            with_res(w, sim, |res, sim| res.release(sim));
+            sim.schedule_at(
+                SimTime::from_nanos(u64::from(i)),
+                move |w: &mut World, sim| {
+                    with_res(w, sim, |res, sim| {
+                        res.acquire(sim, move |w: &mut World, sim| {
+                            w.order.push(i);
+                            sim.schedule_in(SimTime::from_nanos(10), move |w: &mut World, sim| {
+                                with_res(w, sim, |res, sim| res.release(sim));
+                            });
                         });
                     });
-                });
-            });
+                },
+            );
         }
         sim.run(&mut world);
         assert_eq!(world.order, vec![0, 1, 2, 3, 4], "FIFO order preserved");

@@ -134,7 +134,7 @@ mod tests {
         let mut tw = TimeWeighted::new(t(0), 0.0);
         tw.update(t(1_000_000_000), 10.0); // value 0 for 1s
         tw.update(t(3_000_000_000), 0.0); // value 10 for 2s
-        // mean over 4s: (0*1 + 10*2 + 0*1) / 4 = 5
+                                          // mean over 4s: (0*1 + 10*2 + 0*1) / 4 = 5
         let m = tw.mean(t(4_000_000_000));
         assert!((m - 5.0).abs() < 1e-9, "mean = {m}");
         assert_eq!(tw.max(), 10.0);

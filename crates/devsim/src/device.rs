@@ -5,18 +5,18 @@ use crate::memory::DeviceMemory;
 use crate::timeline::Timeline;
 use cashmere_des::SimTime;
 use cashmere_hwdesc::params::ResolvedParams;
+use cashmere_hwdesc::{Hierarchy, LevelId};
 use cashmere_mcl::cost::{estimate_time, CostBreakdown, DeviceClass};
 use cashmere_mcl::interp::{execute, ExecError, ExecOptions, Sampling};
 use cashmere_mcl::launch::LaunchConfig;
 use cashmere_mcl::stats::KernelStats;
 use cashmere_mcl::value::ArgValue;
 use cashmere_mcl::CheckedKernel;
-use cashmere_hwdesc::{Hierarchy, LevelId};
 
 /// Device global-memory capacities in GiB (published card specs).
 fn memory_gib(level_name: &str) -> u64 {
     match level_name {
-        "gtx480" => 1,  // 1.5 GiB rounded down
+        "gtx480" => 1, // 1.5 GiB rounded down
         "c2050" => 3,
         "gtx680" => 2,
         "k20" => 5,
@@ -127,6 +127,14 @@ impl SimDevice {
         self.exec.schedule(now, duration)
     }
 
+    /// The device fails permanently at `at`: every in-flight or queued
+    /// segment on all three engines is aborted. Returns the total aborted
+    /// engine time (the virtual-time cost of the work that was cut short),
+    /// so callers can account it as recovery cost.
+    pub fn abort_after(&mut self, at: SimTime) -> SimTime {
+        self.h2d.truncate_at(at) + self.exec.truncate_at(at) + self.d2h.truncate_at(at)
+    }
+
     /// When would a job whose transfers and kernel are already known finish,
     /// if submitted now? (Used by the load balancer for what-if queries —
     /// does not mutate the timelines.)
@@ -235,7 +243,12 @@ mod tests {
         let n = 1024u64;
         let a = ArrayArg::float(&[n], (0..n).map(|i| i as f64).collect());
         let run = d
-            .run_kernel(&h, &ck, vec![ArgValue::Int(n as i64), ArgValue::Array(a)], ExecMode::Full)
+            .run_kernel(
+                &h,
+                &ck,
+                vec![ArgValue::Int(n as i64), ArgValue::Array(a)],
+                ExecMode::Full,
+            )
             .unwrap();
         let a = run.args[1].clone().array();
         assert_eq!(a.as_f64()[3], 6.0);
@@ -263,7 +276,12 @@ mod tests {
         let full = d.run_kernel(&h, &ck, mk(), ExecMode::Full).unwrap();
         let sampled = d.run_kernel(&h, &ck, mk(), ExecMode::sampled()).unwrap();
         let rel = (sampled.cost.total_s - full.cost.total_s).abs() / full.cost.total_s;
-        assert!(rel < 0.01, "sampled {} vs full {}", sampled.cost.total_s, full.cost.total_s);
+        assert!(
+            rel < 0.01,
+            "sampled {} vs full {}",
+            sampled.cost.total_s,
+            full.cost.total_s
+        );
         // and the sample interpreted far fewer lanes
         assert!(sampled.stats.raw_lanes * 100.0 < full.stats.raw_lanes);
     }
@@ -297,8 +315,8 @@ mod tests {
                 },
             )
             .unwrap();
-        let ratio = (scaled.cost.total_s - scaled.cost.launch_s)
-            / (base.cost.total_s - base.cost.launch_s);
+        let ratio =
+            (scaled.cost.total_s - scaled.cost.launch_s) / (base.cost.total_s - base.cost.launch_s);
         assert!((ratio - 10.0).abs() < 0.2, "ratio {ratio}");
     }
 

@@ -41,6 +41,20 @@ impl Timeline {
         (start, end)
     }
 
+    /// Abort everything scheduled beyond `at` (a device failure): the busy
+    /// horizon is pulled back to `at` and the aborted span is returned so
+    /// callers can account the lost work. Time already spent before `at`
+    /// stays counted. Returns zero if the engine was idle at `at`.
+    pub fn truncate_at(&mut self, at: SimTime) -> SimTime {
+        if self.free_at <= at {
+            return SimTime::ZERO;
+        }
+        let aborted = self.free_at - at;
+        self.free_at = at;
+        self.busy_total = self.busy_total.saturating_sub(aborted);
+        aborted
+    }
+
     /// Total busy time accumulated.
     pub fn busy_total(&self) -> SimTime {
         self.busy_total
@@ -91,6 +105,20 @@ mod tests {
         assert!((t.utilization(us(100)) - 0.5).abs() < 1e-12);
         assert_eq!(t.utilization(SimTime::ZERO), 0.0);
         assert!(t.utilization(us(10)) <= 1.0);
+    }
+
+    #[test]
+    fn truncate_aborts_in_flight_work() {
+        let mut t = Timeline::new();
+        t.schedule(us(0), us(10));
+        t.schedule(us(0), us(10)); // queued behind: [10, 20)
+                                   // Failure at t=14: the tail of the second item (6 µs) is aborted.
+        assert_eq!(t.truncate_at(us(14)), us(6));
+        assert_eq!(t.free_at(), us(14));
+        assert_eq!(t.busy_total(), us(14));
+        // Idle engine: nothing to abort.
+        assert_eq!(t.truncate_at(us(20)), SimTime::ZERO);
+        assert_eq!(t.free_at(), us(14));
     }
 
     #[test]

@@ -323,9 +323,7 @@ impl Parser {
                     "bandwidth_gbs" => space.bandwidth_gbs = Some(v),
                     "latency_cycles" => space.latency_cycles = Some(v as u64),
                     "size_kb" => space.size_kb = Some(v as u64),
-                    other => {
-                        return Err(self.err(format!("unknown memory attribute `{other}`")))
-                    }
+                    other => return Err(self.err(format!("unknown memory attribute `{other}`"))),
                 }
             }
             self.expect_tok(Tok::Semi)?;
@@ -449,8 +447,8 @@ mod tests {
 
     #[test]
     fn error_duplicate_level() {
-        let err = parse("hardware a { } hardware b extends a { } hardware b extends a { }")
-            .unwrap_err();
+        let err =
+            parse("hardware a { } hardware b extends a { } hardware b extends a { }").unwrap_err();
         assert!(err.message.contains("duplicate"), "{err}");
     }
 

@@ -215,7 +215,8 @@ mod tests {
             .unwrap();
         h.add_level("nvidia", Some("gpu"), HwParams::default())
             .unwrap();
-        h.add_level("amd", Some("gpu"), HwParams::default()).unwrap();
+        h.add_level("amd", Some("gpu"), HwParams::default())
+            .unwrap();
         h.add_level("gtx480", Some("nvidia"), HwParams::default())
             .unwrap();
         h
@@ -233,11 +234,15 @@ mod tests {
     #[test]
     fn duplicate_and_bad_parent_rejected() {
         let mut h = small();
-        assert!(h.add_level("gpu", Some("perfect"), HwParams::default()).is_err());
+        assert!(h
+            .add_level("gpu", Some("perfect"), HwParams::default())
+            .is_err());
         assert!(h
             .add_level("x", Some("nonexistent"), HwParams::default())
             .is_err());
-        assert!(h.add_level("second-root", None, HwParams::default()).is_err());
+        assert!(h
+            .add_level("second-root", None, HwParams::default())
+            .is_err());
     }
 
     #[test]

@@ -242,9 +242,7 @@ impl DeviceKind {
     }
 
     pub fn from_level_name(name: &str) -> Option<DeviceKind> {
-        DeviceKind::ALL
-            .into_iter()
-            .find(|d| d.level_name() == name)
+        DeviceKind::ALL.into_iter().find(|d| d.level_name() == name)
     }
 }
 

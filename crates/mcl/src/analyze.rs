@@ -85,8 +85,8 @@ pub fn analyze(
     let level_knows_memory = level_params
         .mem_space("global")
         .is_some_and(|g| g.latency_cycles.is_some());
-    let level_knows_simd = level_params.simd_width.is_some()
-        || level_params.mem_space("local").is_some();
+    let level_knows_simd =
+        level_params.simd_width.is_some() || level_params.mem_space("local").is_some();
     let mut out = Vec::new();
 
     if level_knows_memory {
@@ -231,7 +231,12 @@ mod tests {
         let src = "perfect void t(int n, float[n] a) {
   foreach (int i in n / 16 threads) { a[i * 16] = 1.0; }
 }";
-        let fb = run_and_analyze(src, vec![ArgValue::Int(1024), f32buf(1024)], DeviceKind::Gtx480, &h);
+        let fb = run_and_analyze(
+            src,
+            vec![ArgValue::Int(1024), f32buf(1024)],
+            DeviceKind::Gtx480,
+            &h,
+        );
         assert!(
             !fb.iter().any(|f| f.kind == FeedbackKind::UncoalescedAccess),
             "{fb:?}"
@@ -274,8 +279,16 @@ mod tests {
     }
   }
 }";
-        let fb = run_and_analyze(src, vec![ArgValue::Int(512), f32buf(512)], DeviceKind::Gtx480, &h);
-        assert!(fb.iter().any(|f| f.kind == FeedbackKind::Divergence), "{fb:?}");
+        let fb = run_and_analyze(
+            src,
+            vec![ArgValue::Int(512), f32buf(512)],
+            DeviceKind::Gtx480,
+            &h,
+        );
+        assert!(
+            fb.iter().any(|f| f.kind == FeedbackKind::Divergence),
+            "{fb:?}"
+        );
     }
 
     #[test]
@@ -286,7 +299,12 @@ mod tests {
     if (i % 3 == 0) { a[i * 8] = 1.0; } else { a[i * 8] = 2.0; }
   }
 }";
-        let fb = run_and_analyze(src, vec![ArgValue::Int(4096), f32buf(4096)], DeviceKind::XeonPhi, &h);
+        let fb = run_and_analyze(
+            src,
+            vec![ArgValue::Int(4096), f32buf(4096)],
+            DeviceKind::XeonPhi,
+            &h,
+        );
         assert!(
             fb.iter()
                 .any(|f| f.kind == FeedbackKind::VectorizationFailure),

@@ -135,7 +135,10 @@ pub enum Expr {
     FloatLit(f64),
     Var(String),
     /// `a[i,j]`
-    Index { array: String, indices: Vec<Expr> },
+    Index {
+        array: String,
+        indices: Vec<Expr>,
+    },
     Unary {
         op: UnOp,
         operand: Box<Expr>,
@@ -146,9 +149,15 @@ pub enum Expr {
         rhs: Box<Expr>,
     },
     /// Builtin call: `sqrt(x)`, `min(a,b)`, …
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `(int) e` / `(float) e`
-    Cast { to: ElemTy, operand: Box<Expr> },
+    Cast {
+        to: ElemTy,
+        operand: Box<Expr>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

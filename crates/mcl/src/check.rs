@@ -22,7 +22,11 @@ pub struct CheckError {
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MCPL check error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "MCPL check error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -167,7 +171,11 @@ impl<'h> Checker<'h> {
                 }
                 self.scope.declare(name, Ty::Array(*ty, dims.len()), line)
             }
-            StmtKind::Assign { target, op: _, value } => {
+            StmtKind::Assign {
+                target,
+                op: _,
+                value,
+            } => {
                 let tty = self.lvalue_ty(target, line)?;
                 let vty = self.expr_ty(value, line)?;
                 self.check_assignable(tty, vty, line, &target.name)
@@ -378,10 +386,9 @@ impl<'h> Checker<'h> {
                 }
                 if op.int_only() {
                     if lt != Ty::Int || rt != Ty::Int {
-                        return Err(self.err(
-                            line,
-                            format!("operator {op:?} requires int operands"),
-                        ));
+                        return Err(
+                            self.err(line, format!("operator {op:?} requires int operands"))
+                        );
                     }
                     return Ok(Ty::Int);
                 }

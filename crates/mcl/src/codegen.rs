@@ -94,7 +94,13 @@ impl Gen<'_> {
     fn linearize(&self, array: &str, indices: &[Expr]) -> String {
         let dims = match self.dims.get(array) {
             Some(d) => d,
-            None => return indices.iter().map(|i| self.expr(i)).collect::<Vec<_>>().join(", "),
+            None => {
+                return indices
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
         };
         let mut acc = self.expr(&indices[0]);
         for (k, idx) in indices.iter().enumerate().skip(1) {

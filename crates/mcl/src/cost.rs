@@ -119,7 +119,11 @@ impl CostBreakdown {
 /// on a device with parameters `params` of class `class`.
 ///
 /// `stats` must have been collected with `simd_width == class.warp_width()`.
-pub fn estimate_time(stats: &KernelStats, params: &ResolvedParams, class: DeviceClass) -> CostBreakdown {
+pub fn estimate_time(
+    stats: &KernelStats,
+    params: &ResolvedParams,
+    class: DeviceClass,
+) -> CostBreakdown {
     let warp = class.warp_width() as f64;
     let clock_hz = params.clock_ghz * 1e9;
     let total_lanes = params.total_lanes() as f64;

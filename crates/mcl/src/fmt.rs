@@ -232,7 +232,13 @@ pub fn kernel_to_string(k: &Kernel) -> String {
             }
         })
         .collect();
-    let _ = writeln!(p.out, "{} void {}({}) {{", k.level, k.name, params.join(", "));
+    let _ = writeln!(
+        p.out,
+        "{} void {}({}) {{",
+        k.level,
+        k.name,
+        params.join(", ")
+    );
     p.indent = 1;
     for s in &k.body {
         p.stmt(s);
@@ -304,8 +310,13 @@ mod tests {
     fn roundtrip(src: &str) {
         let k1 = parse(src).expect("original parses");
         let printed = kernel_to_string(&k1);
-        let k2 = parse(&printed).unwrap_or_else(|e| panic!("printed source reparses: {e}\n{printed}"));
-        assert_eq!(strip(&k1), strip(&k2), "AST changed through print/parse:\n{printed}");
+        let k2 =
+            parse(&printed).unwrap_or_else(|e| panic!("printed source reparses: {e}\n{printed}"));
+        assert_eq!(
+            strip(&k1),
+            strip(&k2),
+            "AST changed through print/parse:\n{printed}"
+        );
         // And printing is a fixed point after one round.
         assert_eq!(printed, kernel_to_string(&k2));
     }
@@ -351,7 +362,10 @@ mod tests {
         )
         .unwrap();
         let printed = kernel_to_string(&k);
-        assert!(printed.contains("(a[i] + 1.0) * 2.0 - a[i] / 4.0"), "{printed}");
+        assert!(
+            printed.contains("(a[i] + 1.0) * 2.0 - a[i] / 4.0"),
+            "{printed}"
+        );
         roundtrip(&printed);
     }
 

@@ -39,7 +39,11 @@ pub struct ExecError {
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MCPL runtime error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "MCPL runtime error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -170,7 +174,11 @@ struct ArrayStore {
 impl ArrayStore {
     fn new(elem: ElemTy, dims: Vec<u64>, shared: bool, lanes: usize) -> ArrayStore {
         let n: u64 = dims.iter().product();
-        let slots = if shared { n as usize } else { n as usize * lanes };
+        let slots = if shared {
+            n as usize
+        } else {
+            n as usize * lanes
+        };
         ArrayStore {
             dims,
             shared,
@@ -337,9 +345,7 @@ impl Interp {
                         V::I(v.into_iter().map(|x| i64::from(x == 0)).collect())
                     }
                     (UnOp::BitNot, V::I(v)) => V::I(v.into_iter().map(|x| !x).collect()),
-                    (op, v) => {
-                        return Err(self.err(line, format!("bad unary {op:?} on {v:?}")))
-                    }
+                    (op, v) => return Err(self.err(line, format!("bad unary {op:?} on {v:?}"))),
                 })
             }
             Expr::Binary { op, lhs, rhs } => {
@@ -378,7 +384,9 @@ impl Interp {
         if float || (op.is_comparison() && (a.is_float() || b.is_float())) {
             let x = a.as_f();
             let y = b.as_f();
-            let (V::F(x), V::F(y)) = (x, y) else { unreachable!() };
+            let (V::F(x), V::F(y)) = (x, y) else {
+                unreachable!()
+            };
             if op.is_comparison() {
                 let f = |p: f64, q: f64| -> i64 {
                     i64::from(match op {
@@ -407,7 +415,9 @@ impl Interp {
         } else {
             let x = a.as_i();
             let y = b.as_i();
-            let (V::I(x), V::I(y)) = (x, y) else { unreachable!() };
+            let (V::I(x), V::I(y)) = (x, y) else {
+                unreachable!()
+            };
             let f = |p: i64, q: i64| -> i64 {
                 match op {
                     BinOp::Add => p.wrapping_add(q),
@@ -586,7 +596,10 @@ impl Interp {
                     if i < 0 || (i as u64) >= *d {
                         return Err(self.err(
                             line,
-                            format!("index {i} out of bounds for dim {d} (array rank {})", arr.rank()),
+                            format!(
+                                "index {i} out of bounds for dim {d} (array rank {})",
+                                arr.rank()
+                            ),
                         ));
                     }
                     flat = flat * d + i as u64;
@@ -722,7 +735,11 @@ impl Interp {
         if let Some((_, Slot::Array(a))) = self.lookup(name) {
             idx_shared_probe = a.shared;
         }
-        self.issue(if idx_shared_probe { CYCLE_LOCAL } else { CYCLE_BASIC });
+        self.issue(if idx_shared_probe {
+            CYCLE_LOCAL
+        } else {
+            CYCLE_BASIC
+        });
         let lanes = self.lanes;
         let scale = self.scale;
         let active = self.active_count;
@@ -737,12 +754,7 @@ impl Interp {
         let fidx = self.lookup_frame_idx(name).expect("just found");
         let err_line = line;
         // Temporarily move the store out to avoid aliasing self.
-        let mut arr = match self
-            .env[fidx]
-            .vars
-            .remove(name)
-            .expect("slot present")
-        {
+        let mut arr = match self.env[fidx].vars.remove(name).expect("slot present") {
             Slot::Array(a) => a,
             Slot::Scalar(_) => unreachable!(),
         };
@@ -811,7 +823,9 @@ impl Interp {
                 ElemTy::Int => V::I(out_i),
             })
         })();
-        self.env[fidx].vars.insert(name.to_string(), Slot::Array(arr));
+        self.env[fidx]
+            .vars
+            .insert(name.to_string(), Slot::Array(arr));
         result
     }
 
@@ -867,7 +881,10 @@ impl Interp {
                 }
                 let shared = *space == Space::Local;
                 let lanes = if shared { 1 } else { self.lanes.max(1) };
-                self.declare(name, Slot::Array(ArrayStore::new(*ty, sizes, shared, lanes)));
+                self.declare(
+                    name,
+                    Slot::Array(ArrayStore::new(*ty, sizes, shared, lanes)),
+                );
                 Ok(())
             }
             StmtKind::Assign { target, op, value } => self.exec_assign(target, *op, value, line),
@@ -1034,7 +1051,14 @@ impl Interp {
 
     /// Combine old and rhs according to the assignment operator. `fused`
     /// means the add was already accounted as part of an FMA.
-    fn combine(&mut self, op: AssignOp, old: V, rhs: V, fused: bool, line: usize) -> Result<V, ExecError> {
+    fn combine(
+        &mut self,
+        op: AssignOp,
+        old: V,
+        rhs: V,
+        fused: bool,
+        line: usize,
+    ) -> Result<V, ExecError> {
         let v = match op {
             AssignOp::Set => rhs,
             AssignOp::Add => {
@@ -1151,8 +1175,7 @@ impl Interp {
     ) -> Result<(), ExecError> {
         let c = self.eval(cond, line)?;
         let cmask = self.to_mask(&c);
-        let predicated =
-            Self::is_predicatable(then_branch) && Self::is_predicatable(else_branch);
+        let predicated = Self::is_predicatable(then_branch) && Self::is_predicatable(else_branch);
         if !predicated {
             self.record_branch(&cmask);
         }
@@ -1451,11 +1474,7 @@ mod tests {
     use crate::value::ArrayArg;
     use cashmere_hwdesc::standard_hierarchy;
 
-    fn run(
-        src: &str,
-        args: Vec<ArgValue>,
-        opts: &ExecOptions,
-    ) -> Result<ExecResult, ExecError> {
+    fn run(src: &str, args: Vec<ArgValue>, opts: &ExecOptions) -> Result<ExecResult, ExecError> {
         let h = standard_hierarchy();
         let k = parse(src).expect("parse");
         let ck = check(&k, &h).expect("check");
@@ -1512,11 +1531,11 @@ mod tests {
                 for k in 0..p {
                     sum += a[(i * p + k) as usize] * b[(k * m + j) as usize];
                 }
-                c_ref[(i * m + j) as usize] =
-                    f64::from((sum) as f32);
+                c_ref[(i * m + j) as usize] = f64::from((sum) as f32);
             }
         }
-        let src = "perfect void matmul(int n, int m, int p, float[n,m] c, float[n,p] a, float[p,m] b) {
+        let src =
+            "perfect void matmul(int n, int m, int p, float[n,m] c, float[n,p] a, float[p,m] b) {
   foreach (int i in n threads) {
     foreach (int j in m threads) {
       float sum = 0.0;
@@ -1570,7 +1589,11 @@ mod tests {
             &ExecOptions::default(),
         )
         .unwrap();
-        assert!(r.stats.divergence_rate() > 0.9, "{}", r.stats.divergence_rate());
+        assert!(
+            r.stats.divergence_rate() > 0.9,
+            "{}",
+            r.stats.divergence_rate()
+        );
         let a = r.args[1].clone().array();
         assert_eq!(a.as_f64()[0], 1.0);
         assert_eq!(a.as_f64()[1], 2.0);

@@ -11,7 +11,7 @@
 //! Otherwise a class-dependent default is chosen, clamped to the level's
 //! declared maximum.
 
-use crate::ast::{walk_stmts, StmtKind, Expr};
+use crate::ast::{walk_stmts, Expr, StmtKind};
 use crate::check::CheckedKernel;
 use crate::cost::DeviceClass;
 use crate::interp::{ExecOptions, Sampling};
@@ -46,7 +46,10 @@ impl LaunchConfig {
         // A literal innermost foreach count pins the group size.
         let mut literal: Option<u64> = None;
         walk_stmts(&ck.kernel.body, &mut |s| {
-            if let StmtKind::Foreach { unit, count, body, .. } = &s.kind {
+            if let StmtKind::Foreach {
+                unit, count, body, ..
+            } = &s.kind
+            {
                 if *unit == innermost {
                     let mut has_inner = false;
                     walk_stmts(body, &mut |t| {

@@ -32,7 +32,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MCPL parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "MCPL parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -740,8 +744,7 @@ impl Parser {
                 })
             }
             // cast: "(" ("int"|"float") ")" unary
-            Some(Tok::LParen)
-                if matches!(self.peek2(), Some(Tok::Ident(s)) if s=="int"||s=="float") =>
+            Some(Tok::LParen) if matches!(self.peek2(), Some(Tok::Ident(s)) if s=="int"||s=="float") =>
             {
                 // Look ahead for the closing paren to distinguish a cast from
                 // a parenthesized variable named `int` (impossible — keyword),
@@ -839,7 +842,9 @@ perfect void matmul(int n, int m, int p,
         assert_eq!(foreach_units(&k), vec!["threads"]);
         // outer foreach over i, inner over j, then decl/for/assign
         match &k.body[0].kind {
-            StmtKind::Foreach { var, unit, body, .. } => {
+            StmtKind::Foreach {
+                var, unit, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!(unit, "threads");
                 match &body[0].kind {
@@ -917,10 +922,18 @@ gpu void t(int n, float[n] a) {
             panic!()
         };
         // (i + (2*3)) < n
-        let Expr::Binary { op: BinOp::Lt, lhs, .. } = cond else {
+        let Expr::Binary {
+            op: BinOp::Lt, lhs, ..
+        } = cond
+        else {
             panic!("expected <, got {cond:?}")
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = lhs.as_ref() else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = lhs.as_ref()
+        else {
             panic!()
         };
         assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));

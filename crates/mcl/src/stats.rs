@@ -138,9 +138,10 @@ impl KernelStats {
     /// gather/scatter) or broadcast.
     pub fn vectorizable(&self) -> bool {
         self.divergence_rate() < 0.05
-            && self.sites.values().all(|s| {
-                s.overhead() <= 4.5 || s.broadcast_fraction() > 0.9
-            })
+            && self
+                .sites
+                .values()
+                .all(|s| s.overhead() <= 4.5 || s.broadcast_fraction() > 0.9)
     }
 
     /// Scale every extensive counter by `factor`. Used to extrapolate a

@@ -54,7 +54,11 @@ pub fn translate_to(
         .map(|u| u.name.clone())
         .collect();
     let tgt_params = h.effective_params(tgt);
-    let tgt_units: Vec<String> = tgt_params.par_units.iter().map(|u| u.name.clone()).collect();
+    let tgt_units: Vec<String> = tgt_params
+        .par_units
+        .iter()
+        .map(|u| u.name.clone())
+        .collect();
 
     let mut kernel = ck.kernel.clone();
     kernel.level = target.to_string();
@@ -95,9 +99,7 @@ pub fn translate_to(
 
     Err(CheckError {
         line: 1,
-        message: format!(
-            "no translation rule from units {src_units:?} to {tgt_units:?}"
-        ),
+        message: format!("no translation rule from units {src_units:?} to {tgt_units:?}"),
     })
 }
 
@@ -188,11 +190,7 @@ fn split_stmt(
                 let lvar = format!("__l{id}");
                 let groups = Expr::bin(
                     BinOp::Div,
-                    Expr::bin(
-                        BinOp::Add,
-                        count.clone(),
-                        Expr::int(chunk as i64 - 1),
-                    ),
+                    Expr::bin(BinOp::Add, count.clone(), Expr::int(chunk as i64 - 1)),
                     Expr::int(chunk as i64),
                 );
                 let recover = Stmt::new(
@@ -202,11 +200,7 @@ fn split_stmt(
                         name: var.clone(),
                         init: Some(Expr::bin(
                             BinOp::Add,
-                            Expr::bin(
-                                BinOp::Mul,
-                                Expr::var(&gvar),
-                                Expr::int(chunk as i64),
-                            ),
+                            Expr::bin(BinOp::Mul, Expr::var(&gvar), Expr::int(chunk as i64)),
                             Expr::var(&lvar),
                         )),
                     },

@@ -113,7 +113,12 @@ impl ArrayArg {
     /// Real float array from data; `dims` must multiply to `data.len()`.
     pub fn float(dims: &[u64], data: Vec<f64>) -> ArrayArg {
         let expect: u64 = dims.iter().product();
-        assert_eq!(expect, data.len() as u64, "dims {dims:?} vs len {}", data.len());
+        assert_eq!(
+            expect,
+            data.len() as u64,
+            "dims {dims:?} vs len {}",
+            data.len()
+        );
         ArrayArg {
             dims: dims.to_vec(),
             data: Buffer::F(data),

@@ -125,7 +125,10 @@ mod tests {
         let mut c = NodeNic::default();
         let t1 = schedule_transfer(&net, t(0), &mut a, &mut c, 3_200_000, 0.0, 0.0);
         let t2 = schedule_transfer(&net, t(0), &mut b, &mut c, 3_200_000, 0.0, 0.0);
-        assert!(t2.arrival >= t1.arrival + SimTime::from_millis(1), "RX queued");
+        assert!(
+            t2.arrival >= t1.arrival + SimTime::from_millis(1),
+            "RX queued"
+        );
     }
 
     #[test]

@@ -20,5 +20,8 @@
 pub mod sim;
 pub mod threads;
 
-pub use sim::{ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, LeafPlan, LeafRuntime, RunReport, SimConfig};
+pub use sim::{
+    ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, LeafCtx, LeafPlan, LeafRuntime, RunReport,
+    SimConfig,
+};
 pub use threads::{join, parallel_reduce, SatinPool};

@@ -12,6 +12,8 @@
 //! asynchronous completion time, which is how transfer/kernel overlap and
 //! the device load balancer enter the simulation.
 
+use crate::sim::report::RunReport;
+use cashmere_des::fault::FaultInjector;
 use cashmere_des::trace::{LaneId, Trace};
 use cashmere_des::SimTime;
 
@@ -71,21 +73,31 @@ pub enum LeafPlan<O> {
     },
 }
 
+/// Everything the engine hands a [`LeafRuntime`] for one leaf plan: where
+/// and when the leaf starts, tracing hooks, the fault injector the runtime
+/// must consult (device deaths, transient launch faults), and the run
+/// report it accounts failures to.
+pub struct LeafCtx<'a> {
+    /// Node the leaf executes on.
+    pub node: usize,
+    /// Virtual time at which planning starts.
+    pub now: SimTime,
+    pub trace: &'a mut Trace,
+    /// The node's CPU trace lane.
+    pub cpu_lane: LaneId,
+    /// Injected-fault decisions (deterministic; inactive when the plan is
+    /// empty).
+    pub faults: &'a mut FaultInjector,
+    /// Failure accounting (device losses, retries, fallbacks).
+    pub report: &'a mut RunReport,
+}
+
 /// Pluggable leaf executor.
 pub trait LeafRuntime<A: ClusterApp>: 'static {
-    /// Plan the execution of leaf `input` on `node`, starting at `now`.
-    /// `app` gives access to application callbacks (device-level division,
-    /// kernel descriptions); `trace`/`cpu_lane` allow recording activity
-    /// spans.
-    fn plan(
-        &mut self,
-        app: &A,
-        node: usize,
-        input: &A::Input,
-        now: SimTime,
-        trace: &mut Trace,
-        cpu_lane: LaneId,
-    ) -> LeafPlan<A::Output>;
+    /// Plan the execution of leaf `input` in context `ctx`. `app` gives
+    /// access to application callbacks (device-level division, kernel
+    /// descriptions).
+    fn plan(&mut self, app: &A, input: &A::Input, ctx: LeafCtx<'_>) -> LeafPlan<A::Output>;
 }
 
 /// Plain Satin: every leaf is a single-threaded CPU computation.
@@ -99,16 +111,8 @@ where
     A: ClusterApp,
     F: FnMut(usize, &A::Input, SimTime) -> (SimTime, A::Output) + 'static,
 {
-    fn plan(
-        &mut self,
-        _app: &A,
-        node: usize,
-        input: &A::Input,
-        now: SimTime,
-        _trace: &mut Trace,
-        _cpu_lane: LaneId,
-    ) -> LeafPlan<A::Output> {
-        let (compute, output) = (self.0)(node, input, now);
+    fn plan(&mut self, _app: &A, input: &A::Input, ctx: LeafCtx<'_>) -> LeafPlan<A::Output> {
+        let (compute, output) = (self.0)(ctx.node, input, ctx.now);
         LeafPlan::Cpu { compute, output }
     }
 }
@@ -167,15 +171,21 @@ mod tests {
         });
         let mut trace = Trace::new();
         let lane = trace.add_lane("cpu");
+        let mut faults = FaultInjector::disabled(0);
+        let mut report = RunReport::new(1);
         let app = SumApp { grain: 10 };
         let plan = <CpuLeafRuntime<_> as LeafRuntime<SumApp>>::plan(
             &mut rt,
             &app,
-            0,
             &(0, 4),
-            SimTime::ZERO,
-            &mut trace,
-            lane,
+            LeafCtx {
+                node: 0,
+                now: SimTime::ZERO,
+                trace: &mut trace,
+                cpu_lane: lane,
+                faults: &mut faults,
+                report: &mut report,
+            },
         );
         match plan {
             LeafPlan::Cpu { compute, output } => {

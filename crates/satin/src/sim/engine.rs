@@ -12,8 +12,9 @@
 //! Leaf execution is delegated to a [`LeafRuntime`]: one CPU core for plain
 //! Satin, the Cashmere device path in the `cashmere` crate.
 
-use crate::sim::app::{ClusterApp, DcStep, LeafPlan, LeafRuntime};
+use crate::sim::app::{ClusterApp, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 use crate::sim::report::RunReport;
+use cashmere_des::fault::{FaultInjector, FaultPlan, MessageFate};
 use cashmere_des::rng::StreamRng;
 use cashmere_des::trace::{LaneId, SpanKind};
 use cashmere_des::{Sim, SimTime};
@@ -43,6 +44,15 @@ pub struct SimConfig {
     pub max_concurrent_leaves: usize,
     /// Record Gantt spans.
     pub trace: bool,
+    /// Injected faults (node crashes, device deaths, lossy links, transient
+    /// launch faults), replayed deterministically from the seed. The empty
+    /// plan injects nothing and consumes no randomness, so a run with it is
+    /// byte-identical to a run without one.
+    pub faults: FaultPlan,
+    /// How long a thief waits for a steal request/refusal round trip before
+    /// abandoning the attempt (the request or reply was lost). Only armed
+    /// when a fault plan is active.
+    pub steal_timeout: SimTime,
 }
 
 impl Default for SimConfig {
@@ -57,6 +67,8 @@ impl Default for SimConfig {
             steal_retry_max: SimTime::from_secs(10),
             max_concurrent_leaves: usize::MAX,
             trace: false,
+            faults: FaultPlan::default(),
+            steal_timeout: SimTime::from_millis(5),
         }
     }
 }
@@ -85,6 +97,10 @@ struct JobRec<A: ClusterApp> {
     child_outputs: Vec<Option<A::Output>>,
     /// Bumped on crash-reset; stale events check this.
     generation: u64,
+    /// True for jobs (re-)executed because of a failure: restart roots and
+    /// everything divided under them. Their leaf compute is accounted as
+    /// recovery cost.
+    replay: bool,
 }
 
 enum Task {
@@ -98,9 +114,15 @@ struct NodeState {
     running_leaves: usize,
     stealing: bool,
     steal_failures: u32,
+    /// Bumped whenever an outstanding steal attempt resolves (success,
+    /// refusal, timeout, crash). In-flight timeout and arrival events
+    /// capture the value at initiation and ignore themselves when stale.
+    steal_seq: u64,
     /// Pending steal-retry event, cancelled when the run completes so that
     /// trailing no-op polls do not advance the clock past the real finish.
     retry_event: Option<cashmere_des::EventHandle>,
+    /// Pending steal-timeout event (armed only under an active fault plan).
+    steal_timeout_event: Option<cashmere_des::EventHandle>,
     alive: bool,
     tick_scheduled: bool,
     cpu_lane: LaneId,
@@ -116,6 +138,7 @@ pub struct World<A: ClusterApp, L: LeafRuntime<A>> {
     jobs: Vec<JobRec<A>>,
     nics: Vec<NodeNic>,
     rng: StreamRng,
+    faults: FaultInjector,
     root_job: usize,
     root_result: Option<A::Output>,
     done: bool,
@@ -127,12 +150,7 @@ impl<A: ClusterApp, L: LeafRuntime<A>> World<A, L> {
         self.nodes[node].busy_cores as f64 / self.cfg.cores_per_node as f64
     }
 
-    fn new_job(
-        &mut self,
-        input: A::Input,
-        parent: Option<(usize, usize)>,
-        home: usize,
-    ) -> usize {
+    fn new_job(&mut self, input: A::Input, parent: Option<(usize, usize)>, home: usize) -> usize {
         // Records are kept for the lifetime of the simulation (inputs and
         // outputs are dropped on completion, bookkeeping stays): iterative
         // drivers accumulate O(jobs × iterations) small records. Fine for
@@ -149,6 +167,7 @@ impl<A: ClusterApp, L: LeafRuntime<A>> World<A, L> {
             children: Vec::new(),
             child_outputs: Vec::new(),
             generation: 0,
+            replay: false,
         });
         self.report.jobs_created += 1;
         id
@@ -169,6 +188,9 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
     pub fn new(app: A, leaf: L, cfg: SimConfig) -> Self {
         assert!(cfg.nodes >= 1, "need at least one node");
         assert!(cfg.cores_per_node >= 1);
+        if let Err(e) = cfg.faults.validate(cfg.nodes) {
+            panic!("invalid fault plan: {e}");
+        }
         let mut sim = Sim::new(cfg.seed);
         sim.trace.set_enabled(cfg.trace);
         let nodes = (0..cfg.nodes)
@@ -178,7 +200,9 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
                 running_leaves: 0,
                 stealing: false,
                 steal_failures: 0,
+                steal_seq: 0,
                 retry_event: None,
+                steal_timeout_event: None,
                 alive: true,
                 tick_scheduled: false,
                 cpu_lane: sim.trace.add_lane(format!("node{n}.cpu")),
@@ -192,13 +216,20 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
             nodes,
             jobs: Vec::new(),
             rng: StreamRng::new(cfg.seed, 0x57EA1),
+            faults: FaultInjector::new(cfg.faults.clone(), cfg.seed),
             root_job: 0,
             root_result: None,
             done: false,
             report: RunReport::new(cfg.nodes),
             cfg,
         };
-        ClusterSim { sim, world }
+        let mut cs = ClusterSim { sim, world };
+        // Crashes named in the plan are ordinary scheduled crashes.
+        for c in cs.world.cfg.faults.node_crashes.clone() {
+            cs.schedule_crash(c.node, c.at)
+                .expect("validated plan entries schedule cleanly at t=0");
+        }
+        cs
     }
 
     /// Current virtual time.
@@ -221,13 +252,30 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
 
     /// Schedule node `n` to crash at absolute time `at`. Must be scheduled
     /// before the run that it should interrupt. Node 0 (the master) cannot
-    /// crash — as in Satin, the master holds the root.
-    pub fn schedule_crash(&mut self, node: usize, at: SimTime) {
-        assert!(node != 0, "the master node cannot crash in this model");
-        assert!(node < self.world.cfg.nodes);
-        self.sim.schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-            crash(w, sim, node);
-        });
+    /// crash — as in Satin, the master holds the root. Rejects (rather than
+    /// silently accepting or panicking on) the master, out-of-range nodes,
+    /// and crash times already in the past.
+    pub fn schedule_crash(&mut self, node: usize, at: SimTime) -> Result<(), String> {
+        if node == 0 {
+            return Err("the master node (0) cannot crash in this model".into());
+        }
+        if node >= self.world.cfg.nodes {
+            return Err(format!(
+                "node {node} out of range (cluster has {} nodes)",
+                self.world.cfg.nodes
+            ));
+        }
+        if at < self.sim.now() {
+            return Err(format!(
+                "crash time {at} is in the past (virtual time is {})",
+                self.sim.now()
+            ));
+        }
+        self.sim
+            .schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                crash(w, sim, node);
+            });
+        Ok(())
     }
 
     /// Run one root job to completion and return its output. Virtual time
@@ -319,22 +367,27 @@ fn tick<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L>
         // (blocked leaves stay queued — and stealable). Recomputed every
         // round: each started leaf counts immediately.
         let leaf_ok = w.nodes[n].running_leaves < w.cfg.max_concurrent_leaves;
-        let pick = w.nodes[n].deque.iter().enumerate().rev().find_map(|(i, t)| {
-            let startable = match t {
-                Task::Combine(_) => true,
-                Task::Job(j) => {
-                    if leaf_ok {
-                        true
-                    } else {
-                        match &w.jobs[*j].input {
-                            Some(input) => !w.app.is_leaf(input),
-                            None => true,
+        let pick = w.nodes[n]
+            .deque
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, t)| {
+                let startable = match t {
+                    Task::Combine(_) => true,
+                    Task::Job(j) => {
+                        if leaf_ok {
+                            true
+                        } else {
+                            match &w.jobs[*j].input {
+                                Some(input) => !w.app.is_leaf(input),
+                                None => true,
+                            }
                         }
                     }
-                }
-            };
-            startable.then_some(i)
-        });
+                };
+                startable.then_some(i)
+            });
         let Some(idx) = pick else {
             break;
         };
@@ -370,10 +423,7 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
     w.nodes[n].steal_failures = 0;
     // Leaves count against the concurrency cap from the moment they grab a
     // core, not when their plan runs (which is a job-overhead later).
-    let is_leaf = w.jobs[j]
-        .input
-        .as_ref()
-        .is_some_and(|i| w.app.is_leaf(i));
+    let is_leaf = w.jobs[j].input.as_ref().is_some_and(|i| w.app.is_leaf(i));
     if is_leaf {
         w.nodes[n].running_leaves += 1;
     }
@@ -431,8 +481,37 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
         DcStep::Leaf => {
             debug_assert!(is_leaf, "is_leaf must agree with step()");
             let lane = w.nodes[n].cpu_lane;
-            let plan = w.leaf.plan(&w.app, n, &input, sim.now(), &mut sim.trace, lane);
+            let replay = w.jobs[j].replay;
             w.report.leaves += 1;
+            let plan = {
+                let World {
+                    leaf,
+                    app,
+                    faults,
+                    report,
+                    ..
+                } = w;
+                leaf.plan(
+                    app,
+                    &input,
+                    LeafCtx {
+                        node: n,
+                        now: sim.now(),
+                        trace: &mut sim.trace,
+                        cpu_lane: lane,
+                        faults,
+                        report,
+                    },
+                )
+            };
+            if replay {
+                // Leaf work repeated because of a failure is recovery cost.
+                let cost = match &plan {
+                    LeafPlan::Cpu { compute, .. } => *compute,
+                    LeafPlan::Async { done, .. } => done.saturating_sub(sim.now()),
+                };
+                w.report.recovery_time += cost;
+            }
             match plan {
                 LeafPlan::Cpu { compute, output } => {
                     let start = sim.now() - w.cfg.job_overhead;
@@ -498,12 +577,16 @@ fn finish_divide<A: ClusterApp, L: LeafRuntime<A>>(
     assert!(!children.is_empty(), "divide produced no children");
     w.report.divides += 1;
     let count = children.len();
+    let replay = w.jobs[j].replay;
     w.jobs[j].state = JobState::Waiting;
     w.jobs[j].pending = count;
     w.jobs[j].child_outputs = vec![None; count];
     w.jobs[j].children.clear();
     for (idx, input) in children.into_iter().enumerate() {
         let c = w.new_job(input, Some((j, idx)), n);
+        // A restarted subtree re-divides into fresh records; mark them so
+        // their leaf compute is accounted as recovery cost.
+        w.jobs[c].replay = replay;
         w.jobs[j].children.push(c);
         w.nodes[n].deque.push_back(Task::Job(c));
     }
@@ -539,10 +622,13 @@ fn deliver<A: ClusterApp, L: LeafRuntime<A>>(
         None => {
             w.root_result = Some(output);
             w.done = true;
-            // Cancel trailing steal polls: the run is over and their only
-            // effect would be to advance the virtual clock.
+            // Cancel trailing steal polls and timeouts: the run is over and
+            // their only effect would be to advance the virtual clock.
             for node in 0..w.cfg.nodes {
                 if let Some(h) = w.nodes[node].retry_event.take() {
+                    sim.cancel(h);
+                }
+                if let Some(h) = w.nodes[node].steal_timeout_event.take() {
                     sim.cancel(h);
                 }
                 w.nodes[node].stealing = false;
@@ -553,35 +639,84 @@ fn deliver<A: ClusterApp, L: LeafRuntime<A>>(
             if home == n {
                 receive_child(w, sim, p, idx, output, w.jobs[p].generation);
             } else {
-                // Return the output over the network to the parent's node.
-                let bytes = w.app.output_bytes(&output);
-                let (src_busy, dst_busy) = (w.busy_fraction(n), w.busy_fraction(home));
-                let (lo, hi) = (n.min(home), n.max(home));
-                let (first, second) = w.nics.split_at_mut(hi);
-                let (src, dst) = if n < home {
-                    (&mut first[lo], &mut second[0])
-                } else {
-                    (&mut second[0], &mut first[lo])
-                };
-                let tr = schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
-                w.report.bytes_results += bytes;
-                if sim.trace.enabled() {
-                    sim.trace.record(
-                        w.nodes[n].net_lane,
-                        SpanKind::Network,
-                        "result",
-                        tr.start,
-                        tr.arrival,
-                    );
-                }
                 let pgen = w.jobs[p].generation;
-                sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                send_result(w, sim, n, home, p, idx, output, pgen, 0);
+            }
+        }
+    }
+}
+
+/// Return a child output over the network to the parent's node. A lost
+/// message is retransmitted with bounded exponential backoff; fault windows
+/// are finite, so the loop always terminates.
+#[allow(clippy::too_many_arguments)]
+fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    n: usize,
+    home: usize,
+    p: usize,
+    idx: usize,
+    output: A::Output,
+    pgen: u64,
+    attempt: u32,
+) {
+    if !w.nodes[n].alive || w.jobs[p].generation != pgen {
+        // Sender crashed before retransmitting, or the parent was reset by
+        // a crash: recovery re-executes the subtree either way.
+        return;
+    }
+    let bytes = w.app.output_bytes(&output);
+    let (src_busy, dst_busy) = (w.busy_fraction(n), w.busy_fraction(home));
+    let (lo, hi) = (n.min(home), n.max(home));
+    let (first, second) = w.nics.split_at_mut(hi);
+    let (src, dst) = if n < home {
+        (&mut first[lo], &mut second[0])
+    } else {
+        (&mut second[0], &mut first[lo])
+    };
+    let tr = schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
+    w.report.bytes_results += bytes;
+    if sim.trace.enabled() {
+        sim.trace.record(
+            w.nodes[n].net_lane,
+            SpanKind::Network,
+            if attempt == 0 {
+                "result"
+            } else {
+                "result-retx"
+            },
+            tr.start,
+            tr.arrival,
+        );
+    }
+    match w.faults.message_fate(n, home, sim.now()) {
+        MessageFate::Dropped => {
+            w.report.messages_lost += 1;
+            w.report.result_retransmits += 1;
+            // The sender notices the missing acknowledgement and resends.
+            let backoff =
+                (w.cfg.steal_retry * (1u64 << attempt.min(20))).min(w.cfg.steal_retry_max);
+            sim.schedule_at(
+                tr.arrival + backoff,
+                move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    send_result(w, sim, n, home, p, idx, output, pgen, attempt + 1);
+                },
+            );
+        }
+        MessageFate::Delivered { delay } => {
+            if delay > SimTime::ZERO {
+                w.report.latency_spikes += 1;
+            }
+            sim.schedule_at(
+                tr.arrival + delay,
+                move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                     if !w.nodes[home].alive {
                         return;
                     }
                     receive_child(w, sim, p, idx, output, pgen);
-                });
-            }
+                },
+            );
         }
     }
 }
@@ -659,6 +794,21 @@ fn steal_backoff<A: ClusterApp, L: LeafRuntime<A>>(w: &World<A, L>, thief: usize
     (w.cfg.steal_retry * (1u64 << doublings)).min(w.cfg.steal_retry_max)
 }
 
+/// The thief's outstanding steal attempt is over (success, refusal,
+/// timeout, or crash): clear the flag, invalidate in-flight events keyed on
+/// the old sequence number, and disarm the timeout.
+fn resolve_steal<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    thief: usize,
+) {
+    w.nodes[thief].stealing = false;
+    w.nodes[thief].steal_seq += 1;
+    if let Some(h) = w.nodes[thief].steal_timeout_event.take() {
+        sim.cancel(h);
+    }
+}
+
 fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
     w: &mut World<A, L>,
     sim: &mut S<A, L>,
@@ -686,14 +836,59 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
         return;
     };
     w.nodes[thief].stealing = true;
+    w.nodes[thief].steal_seq += 1;
+    let token = w.nodes[thief].steal_seq;
     w.report.steal_attempts += 1;
     // Steal request: a small message, subject to CPU contention on both ends.
-    let req_time = w.cfg.net.wire_time(64)
+    let mut req_time = w.cfg.net.wire_time(64)
         + w.cfg.net.handling_time(w.busy_fraction(thief))
         + w.cfg.net.handling_time(w.busy_fraction(victim));
-    sim.schedule_in(req_time, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-        handle_steal_request(w, sim, victim, thief);
-    });
+    match w.faults.message_fate(thief, victim, sim.now()) {
+        MessageFate::Dropped => {
+            // The request vanishes; the timeout below recovers the thief.
+            w.report.messages_lost += 1;
+        }
+        MessageFate::Delivered { delay } => {
+            if delay > SimTime::ZERO {
+                w.report.latency_spikes += 1;
+                req_time += delay;
+            }
+            sim.schedule_in(req_time, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                handle_steal_request(w, sim, victim, thief);
+            });
+        }
+    }
+    // With faults in play, a request or refusal may never arrive. Arm a
+    // timeout that abandons the attempt and retries with backoff. Fault-free
+    // runs skip this entirely, so they schedule exactly the same events as
+    // a build without fault support.
+    if w.faults.is_active() {
+        let h = sim.schedule_in(
+            w.cfg.steal_timeout,
+            move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                w.nodes[thief].steal_timeout_event = None;
+                if w.done
+                    || !w.nodes[thief].alive
+                    || !w.nodes[thief].stealing
+                    || w.nodes[thief].steal_seq != token
+                {
+                    return;
+                }
+                resolve_steal(w, sim, thief);
+                w.report.steal_timeouts += 1;
+                w.nodes[thief].steal_failures = w.nodes[thief].steal_failures.saturating_add(1);
+                let retry = steal_backoff(w, thief);
+                let h = sim.schedule_in(retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    w.nodes[thief].retry_event = None;
+                    if !w.done && w.nodes[thief].alive {
+                        schedule_tick(w, sim, thief);
+                    }
+                });
+                w.nodes[thief].retry_event = Some(h);
+            },
+        );
+        w.nodes[thief].steal_timeout_event = Some(h);
+    }
 }
 
 fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
@@ -703,9 +898,15 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
     thief: usize,
 ) {
     if w.done || !w.nodes[thief].alive {
-        w.nodes[thief].stealing = false;
+        resolve_steal(w, sim, thief);
         return;
     }
+    if !w.nodes[thief].stealing {
+        // The thief already gave up on this attempt (timeout) and owns a
+        // fresh retry; a late request must not disturb it.
+        return;
+    }
+    let token = w.nodes[thief].steal_seq;
     // Steal from the FIFO end: the oldest (largest) job. Combines stay
     // home. Stale entries (a crash-restart requeues a job at its home
     // while an old deque entry survives elsewhere; the fresh copy may
@@ -744,29 +945,77 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
                 );
             }
             let generation = w.jobs[j].generation;
-            sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                w.nodes[thief].stealing = false;
-                w.nodes[thief].steal_failures = 0;
-                if w.jobs[j].generation != generation {
-                    return;
+            // The handshake succeeded; only the bulk transfer remains. The
+            // timeout covered the request/reply phase, so disarm it (no-op
+            // in fault-free runs, which never arm one).
+            if let Some(h) = w.nodes[thief].steal_timeout_event.take() {
+                sim.cancel(h);
+            }
+            match w.faults.message_fate(victim, thief, sim.now()) {
+                MessageFate::Dropped => {
+                    // The job data is lost in transit — and the job left the
+                    // victim's deque, so nobody else knows about it. When the
+                    // transfer window elapses unacknowledged, the victim
+                    // re-queues the job on a live node.
+                    w.report.messages_lost += 1;
+                    sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
+                            resolve_steal(w, sim, thief);
+                            w.nodes[thief].steal_failures =
+                                w.nodes[thief].steal_failures.saturating_add(1);
+                            if w.nodes[thief].alive && !w.done {
+                                schedule_tick(w, sim, thief);
+                            }
+                        }
+                        if w.done || w.jobs[j].generation != generation {
+                            return;
+                        }
+                        let home = w.jobs[j].home_node;
+                        let target = if w.nodes[victim].alive {
+                            victim
+                        } else if w.nodes[home].alive {
+                            home
+                        } else {
+                            0
+                        };
+                        w.jobs[j].exec_node = target;
+                        w.nodes[target].deque.push_back(Task::Job(j));
+                        schedule_tick(w, sim, target);
+                    });
                 }
-                if !w.nodes[thief].alive {
-                    // The thief died while the job was in flight. The job
-                    // left the victim's deque, so nobody else knows about
-                    // it — bounce it back to a live node or it is lost and
-                    // the run never terminates.
-                    let home = w.jobs[j].home_node;
-                    let target = if w.nodes[home].alive { home } else { 0 };
-                    w.jobs[j].exec_node = target;
-                    w.nodes[target].deque.push_back(Task::Job(j));
-                    w.report.jobs_restarted += 1;
-                    schedule_tick(w, sim, target);
-                    return;
+                MessageFate::Delivered { delay } => {
+                    if delay > SimTime::ZERO {
+                        w.report.latency_spikes += 1;
+                    }
+                    let arrival = tr.arrival + delay;
+                    sim.schedule_at(arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
+                            resolve_steal(w, sim, thief);
+                            w.nodes[thief].steal_failures = 0;
+                        }
+                        if w.jobs[j].generation != generation {
+                            return;
+                        }
+                        if !w.nodes[thief].alive {
+                            // The thief died while the job was in flight. The
+                            // job left the victim's deque, so nobody else
+                            // knows about it — bounce it back to a live node
+                            // or it is lost and the run never terminates.
+                            let home = w.jobs[j].home_node;
+                            let target = if w.nodes[home].alive { home } else { 0 };
+                            w.jobs[j].exec_node = target;
+                            w.nodes[target].deque.push_back(Task::Job(j));
+                            w.jobs[j].replay = true;
+                            w.report.jobs_restarted += 1;
+                            schedule_tick(w, sim, target);
+                            return;
+                        }
+                        w.jobs[j].exec_node = thief;
+                        w.nodes[thief].deque.push_back(Task::Job(j));
+                        schedule_tick(w, sim, thief);
+                    });
                 }
-                w.jobs[j].exec_node = thief;
-                w.nodes[thief].deque.push_back(Task::Job(j));
-                schedule_tick(w, sim, thief);
-            });
+            }
         }
         _ => {
             // Nothing to steal: small refusal message, then retry. The first
@@ -774,27 +1023,51 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
             // during normal imbalance); sustained failure — the idle tail of
             // a run — backs off exponentially so a long tail does not flood
             // the event queue with poll events.
-            let reply = w.cfg.net.wire_time(32);
+            let mut reply = w.cfg.net.wire_time(32);
+            match w.faults.message_fate(victim, thief, sim.now()) {
+                MessageFate::Dropped => {
+                    // The refusal never reaches the thief; its steal timeout
+                    // recovers the attempt.
+                    w.report.messages_lost += 1;
+                    return;
+                }
+                MessageFate::Delivered { delay } => {
+                    if delay > SimTime::ZERO {
+                        w.report.latency_spikes += 1;
+                        reply += delay;
+                    }
+                    // The refusal will arrive: disarm the timeout so a long
+                    // retry backoff is not misread as a lost reply.
+                    if let Some(h) = w.nodes[thief].steal_timeout_event.take() {
+                        sim.cancel(h);
+                    }
+                }
+            }
             // Back off only when no node in the cluster has stealable work
             // (the idle tail / drain phase): a random victim simply being
             // empty while others still have jobs keeps the base poll rate.
-            let any_work = w.nodes.iter().any(|n| {
-                n.alive && n.deque.iter().any(|t| matches!(t, Task::Job(_)))
-            });
+            let any_work = w
+                .nodes
+                .iter()
+                .any(|n| n.alive && n.deque.iter().any(|t| matches!(t, Task::Job(_))));
             if any_work {
                 w.nodes[thief].steal_failures = 0;
             } else {
-                w.nodes[thief].steal_failures =
-                    w.nodes[thief].steal_failures.saturating_add(1);
+                w.nodes[thief].steal_failures = w.nodes[thief].steal_failures.saturating_add(1);
             }
             let retry = steal_backoff(w, thief);
-            let h = sim.schedule_in(reply + retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                w.nodes[thief].retry_event = None;
-                w.nodes[thief].stealing = false;
-                if !w.done && w.nodes[thief].alive {
-                    schedule_tick(w, sim, thief);
-                }
-            });
+            let h = sim.schedule_in(
+                reply + retry,
+                move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    w.nodes[thief].retry_event = None;
+                    if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
+                        resolve_steal(w, sim, thief);
+                    }
+                    if !w.done && w.nodes[thief].alive {
+                        schedule_tick(w, sim, thief);
+                    }
+                },
+            );
             w.nodes[thief].retry_event = Some(h);
         }
     }
@@ -811,6 +1084,14 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
     w.nodes[n].deque.clear();
     w.nodes[n].busy_cores = 0;
     w.nodes[n].running_leaves = 0;
+    // Dead nodes fire no timers; drop their pending steal events so stale
+    // no-op polls cannot advance the clock past the real finish.
+    if let Some(h) = w.nodes[n].retry_event.take() {
+        sim.cancel(h);
+    }
+    if let Some(h) = w.nodes[n].steal_timeout_event.take() {
+        sim.cancel(h);
+    }
     w.report.crashes += 1;
 
     // Restart roots: jobs whose record lives on a healthy node but whose
@@ -874,13 +1155,17 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
             w.jobs[c].input = None;
         }
         let home = w.jobs[r].home_node;
-        debug_assert!(w.nodes[home].alive, "restart root must live on a healthy node");
+        debug_assert!(
+            w.nodes[home].alive,
+            "restart root must live on a healthy node"
+        );
         w.jobs[r].children.clear();
         w.jobs[r].child_outputs.clear();
         w.jobs[r].pending = 0;
         w.jobs[r].generation += 1;
         w.jobs[r].state = JobState::Queued;
         w.jobs[r].exec_node = home;
+        w.jobs[r].replay = true;
         w.report.jobs_restarted += 1;
         w.nodes[home].deque.push_back(Task::Job(r));
         schedule_tick(w, sim, home);

@@ -4,14 +4,13 @@ pub mod app;
 pub mod engine;
 pub mod report;
 
-pub use app::{ClusterApp, CpuLeafRuntime, DcStep, LeafPlan, LeafRuntime};
+pub use app::{ClusterApp, CpuLeafRuntime, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 pub use engine::{ClusterSim, SimConfig, World};
 pub use report::RunReport;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cashmere_des::trace::{LaneId, Trace};
     use cashmere_des::SimTime;
 
     /// Divide-and-conquer range sum, the canonical Fig. 1 shape.
@@ -129,7 +128,7 @@ mod tests {
     fn crash_recovery_still_produces_the_answer() {
         let mut cs = ClusterSim::new(SumApp { grain: 1_000 }, cpu_leaf(), config(4, 3));
         // Crash node 2 mid-run (total run is tens of ms).
-        cs.schedule_crash(2, SimTime::from_millis(4));
+        cs.schedule_crash(2, SimTime::from_millis(4)).unwrap();
         let out = cs.run_root((0, N));
         assert_eq!(out, EXPECT, "result correct despite losing a node");
         let r = cs.report();
@@ -138,10 +137,29 @@ mod tests {
     }
 
     #[test]
+    fn schedule_crash_rejects_bad_requests() {
+        let mut cs = ClusterSim::new(SumApp { grain: 4_000 }, cpu_leaf(), config(4, 3));
+        // The master holds the root; crashing it is not modelled.
+        let err = cs.schedule_crash(0, SimTime::from_millis(1)).unwrap_err();
+        assert!(err.contains("master"), "{err}");
+        // Out-of-range node.
+        let err = cs.schedule_crash(4, SimTime::from_millis(1)).unwrap_err();
+        assert!(err.contains("range"), "{err}");
+        // A time already in the past (after a run has advanced the clock).
+        let _ = cs.run_root((0, 10_000));
+        assert!(cs.now() > SimTime::ZERO);
+        let err = cs.schedule_crash(2, SimTime::ZERO).unwrap_err();
+        assert!(err.contains("past"), "{err}");
+        // A valid request still works.
+        cs.schedule_crash(2, cs.now() + SimTime::from_millis(1))
+            .unwrap();
+    }
+
+    #[test]
     fn crash_of_idle_node_is_harmless() {
         let mut cs = ClusterSim::new(SumApp { grain: 50_000 }, cpu_leaf(), config(4, 3));
         // Grain so large that only a few jobs exist; crash late-ish.
-        cs.schedule_crash(3, SimTime::from_micros(10));
+        cs.schedule_crash(3, SimTime::from_micros(10)).unwrap();
         let out = cs.run_root((0, N));
         assert_eq!(out, EXPECT);
     }
@@ -198,15 +216,12 @@ mod tests {
         fn plan(
             &mut self,
             _app: &SumApp,
-            _node: usize,
             &(lo, hi): &(u64, u64),
-            now: SimTime,
-            _trace: &mut Trace,
-            _lane: LaneId,
+            ctx: LeafCtx<'_>,
         ) -> LeafPlan<u64> {
             let e = self.next % self.engines.len();
             self.next += 1;
-            let start = now.max(self.engines[e]);
+            let start = ctx.now.max(self.engines[e]);
             let done = start + self.kernel;
             self.engines[e] = done;
             LeafPlan::Async {
@@ -255,17 +270,14 @@ mod tests {
         fn plan(
             &mut self,
             _app: &SumApp,
-            node: usize,
             &(lo, hi): &(u64, u64),
-            now: SimTime,
-            _trace: &mut Trace,
-            _lane: LaneId,
+            ctx: LeafCtx<'_>,
         ) -> LeafPlan<u64> {
-            let start = now.max(self.free_at[node]);
+            let start = ctx.now.max(self.free_at[ctx.node]);
             let done = start + self.kernel;
-            self.free_at[node] = done;
+            self.free_at[ctx.node] = done;
             LeafPlan::Cpu {
-                compute: done - now,
+                compute: done - ctx.now,
                 output: (lo..hi).sum::<u64>(),
             }
         }

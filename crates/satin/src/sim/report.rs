@@ -21,6 +21,27 @@ pub struct RunReport {
     pub bytes_broadcast: u64,
     pub crashes: u64,
     pub jobs_restarted: u64,
+    // --- failure accounting (fault-injection subsystem) ---
+    /// Devices permanently lost to injected failures.
+    pub devices_lost: u64,
+    /// Transient kernel-launch faults the device runtime retried.
+    pub launch_retries: u64,
+    /// Device jobs aborted in flight by a device death.
+    pub device_aborts: u64,
+    /// Device jobs degraded to the CPU leaf because faults left no usable
+    /// device (all devices dead, or the launch-retry budget exhausted).
+    pub fault_cpu_fallbacks: u64,
+    /// Messages dropped by injected link faults.
+    pub messages_lost: u64,
+    /// Latency spikes applied to delivered messages.
+    pub latency_spikes: u64,
+    /// Steal attempts abandoned by timeout (request or reply lost).
+    pub steal_timeouts: u64,
+    /// Retransmissions of result-return messages after a loss.
+    pub result_retransmits: u64,
+    /// Virtual time spent redoing work: compute of re-executed subtrees
+    /// plus device time lost in aborted jobs.
+    pub recovery_time: SimTime,
     /// Accumulated compute-busy time per node.
     pub node_busy: Vec<SimTime>,
 }
@@ -40,8 +61,47 @@ impl RunReport {
             bytes_broadcast: 0,
             crashes: 0,
             jobs_restarted: 0,
+            devices_lost: 0,
+            launch_retries: 0,
+            device_aborts: 0,
+            fault_cpu_fallbacks: 0,
+            messages_lost: 0,
+            latency_spikes: 0,
+            steal_timeouts: 0,
+            result_retransmits: 0,
+            recovery_time: SimTime::ZERO,
             node_busy: vec![SimTime::ZERO; nodes],
         }
+    }
+
+    /// Did the run observe any injected failure at all?
+    pub fn saw_failures(&self) -> bool {
+        self.crashes > 0
+            || self.devices_lost > 0
+            || self.launch_retries > 0
+            || self.messages_lost > 0
+            || self.steal_timeouts > 0
+    }
+
+    /// Human-readable failure-accounting section (run-report printout).
+    pub fn failure_summary(&self) -> String {
+        format!(
+            "failures: {} crashes, {} devices lost, {} jobs re-executed\n\
+             device path: {} launch retries, {} aborted jobs, {} CPU fallbacks\n\
+             network: {} messages lost, {} latency spikes, {} steal timeouts, {} retransmits\n\
+             recovery virtual-time cost: {}",
+            self.crashes,
+            self.devices_lost,
+            self.jobs_restarted,
+            self.launch_retries,
+            self.device_aborts,
+            self.fault_cpu_fallbacks,
+            self.messages_lost,
+            self.latency_spikes,
+            self.steal_timeouts,
+            self.result_retransmits,
+            self.recovery_time,
+        )
     }
 
     /// Steal success rate.
@@ -75,5 +135,17 @@ mod tests {
         assert!((r.steal_success_rate() - 0.4).abs() < 1e-12);
         assert_eq!(r.bytes_total(), 175);
         assert_eq!(r.node_busy.len(), 2);
+    }
+
+    #[test]
+    fn failure_accounting_starts_clean() {
+        let mut r = RunReport::new(1);
+        assert!(!r.saw_failures());
+        r.devices_lost = 1;
+        r.launch_retries = 2;
+        assert!(r.saw_failures());
+        let s = r.failure_summary();
+        assert!(s.contains("1 devices lost"), "{s}");
+        assert!(s.contains("2 launch retries"), "{s}");
     }
 }

@@ -384,7 +384,9 @@ mod tests {
     fn parallel_reduce_sums_range() {
         let pool = SatinPool::new(8);
         let total = pool.run(|| {
-            parallel_reduce(0, 10_000, 64, &|lo, hi| (lo..hi).sum::<u64>(), &|a, b| a + b)
+            parallel_reduce(0, 10_000, 64, &|lo, hi| (lo..hi).sum::<u64>(), &|a, b| {
+                a + b
+            })
         });
         assert_eq!(total, 10_000 * 9_999 / 2);
     }
@@ -434,10 +436,7 @@ mod tests {
         let pool = SatinPool::new(2);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run(|| {
-                let ((), ()) = join(
-                    || (),
-                    || panic!("boom in spawned job"),
-                );
+                let ((), ()) = join(|| (), || panic!("boom in spawned job"));
             })
         }));
         assert!(result.is_err());
@@ -485,11 +484,8 @@ mod tests {
         let run = |threads: usize| {
             let pool = SatinPool::new(threads);
             let t0 = std::time::Instant::now();
-            let r = pool.run(|| {
-                parallel_reduce(0, 40_000_000, 1 << 18, &work, &|a, b| {
-                    a.wrapping_add(b)
-                })
-            });
+            let r = pool
+                .run(|| parallel_reduce(0, 40_000_000, 1 << 18, &work, &|a, b| a.wrapping_add(b)));
             (r, t0.elapsed())
         };
         let (r1, t1) = run(1);

@@ -59,7 +59,10 @@ fn main() {
     let (_, elapsed) = run_iterations(&mut cluster, &problem, &centroids, false);
     let gflops = problem.total_flops() / elapsed.as_secs_f64() / 1e9;
 
-    println!("\n{} iterations in {elapsed} of virtual time — {gflops:.0} GFLOPS\n", problem.iterations);
+    println!(
+        "\n{} iterations in {elapsed} of virtual time — {gflops:.0} GFLOPS\n",
+        problem.iterations
+    );
 
     // Which device kinds did the balancer use, and how much?
     let rt = cluster.leaf_runtime();

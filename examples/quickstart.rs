@@ -21,7 +21,11 @@ use cashmere_satin::SimConfig;
 fn main() {
     // A small real problem (the paper-scale 32768² run is in the bench
     // harness; it uses shape-only buffers).
-    let problem = MatmulProblem { n: 128, m: 64, p: 96 };
+    let problem = MatmulProblem {
+        n: 128,
+        m: 64,
+        p: 96,
+    };
     let app = MatmulApp::real(problem, 32, 8, 42);
 
     // CPU reference for verification.
@@ -61,12 +65,18 @@ fn main() {
 
     let report = cluster.report();
     let runtime = cluster.leaf_runtime();
-    println!("matmul {}x{}x{} on 2 simulated GTX480 nodes", problem.n, problem.m, problem.p);
+    println!(
+        "matmul {}x{}x{} on 2 simulated GTX480 nodes",
+        problem.n, problem.m, problem.p
+    );
     println!("  result matches CPU reference, max abs error = {max_err:.2e}");
     println!("  virtual makespan     : {}", report.makespan);
     println!("  jobs created         : {}", report.jobs_created);
     println!("  device kernels run   : {}", runtime.kernels_run);
-    println!("  work steals          : {} ok / {} attempts", report.steals_ok, report.steal_attempts);
+    println!(
+        "  work steals          : {} ok / {} attempts",
+        report.steals_ok, report.steal_attempts
+    );
     println!("  network bytes        : {}", report.bytes_total());
     assert!(max_err < 1e-3);
     println!("ok");

@@ -50,9 +50,7 @@ fn main() {
         }
         let pool = SatinPool::new(threads);
         let t0 = Instant::now();
-        let sum = pool.run(|| {
-            parallel_reduce(0, 40_000_000, 1 << 16, &chunk_work, &|a, b| a + b)
-        });
+        let sum = pool.run(|| parallel_reduce(0, 40_000_000, 1 << 16, &chunk_work, &|a, b| a + b));
         let dt = t0.elapsed();
         let b = *base.get_or_insert(dt.as_secs_f64());
         println!(

@@ -24,7 +24,11 @@ use cashmere_mcl::translate::translate_to;
 use cashmere_mcl::value::{ArgValue, ArrayArg};
 use cashmere_mcl::{compile, CheckedKernel, ElemTy};
 
-fn measure(h: &cashmere_hwdesc::Hierarchy, ck: &CheckedKernel, dev: &SimDevice) -> (f64, Vec<String>) {
+fn measure(
+    h: &cashmere_hwdesc::Hierarchy,
+    ck: &CheckedKernel,
+    dev: &SimDevice,
+) -> (f64, Vec<String>) {
     let (n, m, p) = (64i64, 8192i64, 256i64);
     let args = vec![
         ArgValue::Int(n),
@@ -76,7 +80,10 @@ fn main() {
     println!("== step 3: apply the feedback (tiled gpu kernel) ==\n");
     let tiled = compile(KERNEL_GPU, &h).expect("tiled kernel compiles");
     let (g2, fb2) = measure(&h, &tiled, &gtx480);
-    println!("modelled on a GTX480: {g2:.0} GFLOPS ({:.1}x the perfect version)", g2 / g0);
+    println!(
+        "modelled on a GTX480: {g2:.0} GFLOPS ({:.1}x the perfect version)",
+        g2 / g0
+    );
     if fb2.is_empty() {
         println!("feedback: none — refinement at this level is done\n");
     } else {

@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde_derive`: generates `Serialize`/`Deserialize`
+//! impls against the in-tree `serde` shim's `Content` model.
+//!
+//! No `syn`/`quote` — the type definition is parsed directly from the
+//! `proc_macro::TokenStream`. Supported shapes are exactly the ones used in
+//! this workspace: non-generic structs (named, tuple, unit) and enums with
+//! unit / tuple / struct variants, externally tagged. `#[serde(...)]` field
+//! attributes are not supported and generics are rejected with a clear
+//! panic at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct TypeDef {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Split a token list on commas at angle-bracket depth zero. (Commas inside
+/// `(..)`/`[..]`/`{..}` are already hidden inside `Group` tokens; only
+/// generic argument lists like `HashMap<K, V>` need the depth counter.)
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+fn named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_commas(group_tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let chunk = skip_attrs_and_vis(&chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn tuple_arity(group_tokens: Vec<TokenTree>) -> usize {
+    split_commas(group_tokens)
+        .into_iter()
+        .filter(|c| !skip_attrs_and_vis(c).is_empty())
+        .count()
+}
+
+fn parse_def(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = skip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let keyword = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct/enum keyword found"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    let next = it.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    let kind = if keyword == "enum" {
+        let body = match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        };
+        let variants = split_commas(body.into_iter().collect())
+            .into_iter()
+            .filter_map(|chunk| {
+                let chunk = skip_attrs_and_vis(&chunk);
+                let vname = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let shape = match chunk.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(tuple_arity(g.stream().into_iter().collect()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(named_fields(g.stream().into_iter().collect()))
+                    }
+                    _ => Shape::Unit,
+                };
+                Some(Variant { name: vname, shape })
+            })
+            .collect();
+        Kind::Enum(variants)
+    } else {
+        match next {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(named_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(tuple_arity(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        }
+    };
+    TypeDef { name, kind }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(String::from(\"{f}\")), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(String::from(\"{vn}\")), \
+                             ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(String::from(\"{vn}\")), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Content::Str(String::from(\"{f}\")), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(String::from(\"{vn}\")), \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => format!("{{ let _ = __c; Ok({name}) }}"),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __seq = __c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\", __c))?;\n\
+                 if __seq.len() != {n} {{ return Err(::serde::DeError::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", __seq.len()))); }}\n\
+                 Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__c, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join("\n"))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(__payload)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __seq = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"sequence\", \"{name}::{vn}\", __payload))?;\n\
+                                 if __seq.len() != {n} {{ return Err(::serde::DeError::custom(\
+                                 format!(\"expected {n} elements for {name}::{vn}, got {{}}\", __seq.len()))); }}\n\
+                                 Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__field(__payload, \"{f}\", \
+                                         \"{name}::{vn}\")?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                items.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 let __tag = __tag.as_str().ok_or_else(|| \
+                 ::serde::DeError::expected(\"string tag\", \"{name}\", __tag))?;\n\
+                 match __tag {{\n\
+                 {}\n\
+                 __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::expected(\"enum\", \"{name}\", __other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
+}

@@ -57,7 +57,11 @@ fn all_four_apps_compile_for_all_devices() {
 
 #[test]
 fn matmul_on_mixed_cluster_matches_reference() {
-    let pr = MatmulProblem { n: 96, m: 40, p: 56 };
+    let pr = MatmulProblem {
+        n: 96,
+        m: 40,
+        p: 56,
+    };
     let app = MatmulApp::real(pr, 24, 4, 123);
     let root = app.row_job(0, pr.n);
     let reference = app.data_ref().unwrap().reference_rows(&pr, 0, pr.n);
@@ -104,8 +108,7 @@ fn kmeans_iterations_on_mixed_cluster_match_cpu() {
         functional(),
     )
     .unwrap();
-    let (_, elapsed) =
-        cashmere_apps::kmeans::run_iterations(&mut cluster, &pr, &cents, true);
+    let (_, elapsed) = cashmere_apps::kmeans::run_iterations(&mut cluster, &pr, &cents, true);
     assert!(elapsed > cashmere_des::SimTime::ZERO);
     let got = cents.read().unwrap().clone();
     assert_eq!(got.len(), ref_cent.len());

@@ -62,11 +62,7 @@ impl E {
 }
 
 fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::X),
-        Just(E::I),
-        (-9i8..10).prop_map(E::Lit),
-    ];
+    let leaf = prop_oneof![Just(E::X), Just(E::I), (-9i8..10).prop_map(E::Lit),];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),

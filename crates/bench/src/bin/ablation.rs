@@ -12,14 +12,22 @@
 //!
 //! ```text
 //! cargo run --release -p cashmere-bench --bin ablation
+//! cargo run --release -p cashmere-bench --bin ablation -- --trace out.json --explain
 //! ```
+//!
+//! With `--trace out.json` every measured variant writes a Chrome trace +
+//! balancer audit log (`out.<study>.<variant>.json`); `--explain` prints
+//! each variant's critical-path and metrics summaries — the balancer and
+//! overlap ablations read directly off those reports.
 
 use cashmere::balancer::Policy;
 use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
 use cashmere_apps::kmeans::{run_iterations, KmeansApp, KmeansProblem};
 use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
 use cashmere_apps::KernelSet;
-use cashmere_bench::{paper_sim_config, write_json, Series, Table};
+use cashmere_bench::{
+    obs_args, paper_sim_config, report_run, write_json, ObsArgs, ObsCapture, Series, Table,
+};
 use cashmere_netsim::NetConfig;
 use serde::Serialize;
 
@@ -31,7 +39,34 @@ struct AblationRow {
     relative: f64,
 }
 
-fn kmeans_on(spec: &ClusterSpec, policy: Policy, slots: usize, n: u64) -> f64 {
+/// Emit the observability exports of a finished ablation run under
+/// `label`; `label: None` marks baseline re-runs that stay unobserved.
+fn observe<A: cashmere::CashmereApp>(
+    cluster: &cashmere_satin::ClusterSim<A, cashmere::CashmereLeafRuntime>,
+    obs: &ObsArgs,
+    label: Option<&str>,
+) {
+    let Some(label) = label else { return };
+    if !obs.enabled() {
+        return;
+    }
+    let cap = ObsCapture {
+        trace: cluster.trace().clone(),
+        metrics: cluster.metrics().clone(),
+        audit: cluster.leaf_runtime().audit.clone(),
+        horizon: cluster.trace().horizon(),
+    };
+    report_run(obs, label, &cap);
+}
+
+fn kmeans_on(
+    spec: &ClusterSpec,
+    policy: Policy,
+    slots: usize,
+    n: u64,
+    obs: &ObsArgs,
+    label: Option<&str>,
+) -> f64 {
     let pr = KmeansProblem {
         n,
         k: 4096,
@@ -42,6 +77,7 @@ fn kmeans_on(spec: &ClusterSpec, policy: Policy, slots: usize, n: u64) -> f64 {
     let cents = app.centroids.clone();
     let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
     cfg.max_concurrent_leaves = slots;
+    cfg.trace = label.is_some() && obs.enabled();
     let mut cluster = build_cluster(
         app,
         KmeansApp::registry(KernelSet::Optimized),
@@ -54,6 +90,7 @@ fn kmeans_on(spec: &ClusterSpec, policy: Policy, slots: usize, n: u64) -> f64 {
     )
     .unwrap();
     let (_, elapsed) = run_iterations(&mut cluster, &pr, &cents, false);
+    observe(&cluster, obs, label);
     elapsed.as_secs_f64()
 }
 
@@ -63,12 +100,13 @@ fn k20_phi_node() -> ClusterSpec {
     }
 }
 
-fn matmul_run(net: NetConfig, overlap: bool) -> f64 {
+fn matmul_run(net: NetConfig, overlap: bool, obs: &ObsArgs, label: Option<&str>) -> f64 {
     let pr = MatmulProblem::square(16384);
     let app = MatmulApp::phantom(pr, 128, 8);
     let root = app.row_job(0, pr.n);
     let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
     cfg.net = net;
+    cfg.trace = label.is_some() && obs.enabled();
     let mut cluster = build_cluster(
         app,
         MatmulApp::registry(KernelSet::Optimized),
@@ -84,10 +122,12 @@ fn matmul_run(net: NetConfig, overlap: bool) -> f64 {
     cluster.broadcast(pr.p * pr.m * 4);
     let bcast = (cluster.now() - start).as_secs_f64();
     let _ = cluster.run_root(root);
+    observe(&cluster, obs, label);
     bcast + cluster.report().makespan.as_secs_f64()
 }
 
 fn main() {
+    let (obs, _rest) = obs_args(std::env::args().collect());
     let mut json = Vec::new();
 
     println!(
@@ -95,13 +135,14 @@ fn main() {
          where the per-job device choice actually binds)\n"
     );
     let mut t = Table::new(&["policy", "makespan", "vs scenario"]);
-    let base = kmeans_on(&k20_phi_node(), Policy::Scenario, 2, 16_000_000);
-    for (name, policy) in [
-        ("scenario (paper III-B)", Policy::Scenario),
-        ("round-robin", Policy::RoundRobin),
-        ("greedy-fastest", Policy::FastestOnly),
+    let base = kmeans_on(&k20_phi_node(), Policy::Scenario, 2, 16_000_000, &obs, None);
+    for (name, slug, policy) in [
+        ("scenario (paper III-B)", "scenario", Policy::Scenario),
+        ("round-robin", "round-robin", Policy::RoundRobin),
+        ("greedy-fastest", "greedy", Policy::FastestOnly),
     ] {
-        let m = kmeans_on(&k20_phi_node(), policy, 2, 16_000_000);
+        let label = format!("balancer.{slug}");
+        let m = kmeans_on(&k20_phi_node(), policy, 2, 16_000_000, &obs, Some(&label));
         t.row(vec![
             name.to_string(),
             format!("{m:.2}s"),
@@ -118,9 +159,10 @@ fn main() {
 
     println!("Ablation 2: PCIe transfer/kernel overlap (matmul 16384³, 8 gtx480)\n");
     let mut t = Table::new(&["overlap", "makespan", "vs overlapped"]);
-    let on = matmul_run(NetConfig::qdr_infiniband(), true);
-    for (name, overlap) in [("on (paper II-C3)", true), ("off", false)] {
-        let m = matmul_run(NetConfig::qdr_infiniband(), overlap);
+    let on = matmul_run(NetConfig::qdr_infiniband(), true, &obs, None);
+    for (name, slug, overlap) in [("on (paper II-C3)", "on", true), ("off", "off", false)] {
+        let label = format!("overlap.{slug}");
+        let m = matmul_run(NetConfig::qdr_infiniband(), overlap, &obs, Some(&label));
         t.row(vec![
             name.to_string(),
             format!("{m:.2}s"),
@@ -137,11 +179,12 @@ fn main() {
 
     println!("Ablation 3: interconnect (same matmul)\n");
     let mut t = Table::new(&["network", "makespan", "vs QDR IB"]);
-    for (name, net) in [
-        ("QDR InfiniBand", NetConfig::qdr_infiniband()),
-        ("gigabit Ethernet", NetConfig::gigabit_ethernet()),
+    for (name, slug, net) in [
+        ("QDR InfiniBand", "qdr-ib", NetConfig::qdr_infiniband()),
+        ("gigabit Ethernet", "gbe", NetConfig::gigabit_ethernet()),
     ] {
-        let m = matmul_run(net, true);
+        let label = format!("network.{slug}");
+        let m = matmul_run(net, true, &obs, Some(&label));
         t.row(vec![
             name.to_string(),
             format!("{m:.2}s"),
@@ -166,13 +209,18 @@ fn main() {
         Policy::Scenario,
         2,
         67_000_000,
+        &obs,
+        None,
     );
     for slots in [1usize, 2, 4] {
+        let label = format!("leaf-slots.{slots}");
         let m = kmeans_on(
             &ClusterSpec::paper_hetero_kmeans(),
             Policy::Scenario,
             slots,
             67_000_000,
+            &obs,
+            Some(&label),
         );
         t.row(vec![
             slots.to_string(),

@@ -8,7 +8,7 @@
 //! ```
 
 use cashmere_apps::KernelSet;
-use cashmere_bench::{kernel_gflops, write_json, AppId, Table};
+use cashmere_bench::{kernel_gflops, obs_args, write_json, AppId, Table};
 use cashmere_hwdesc::DeviceKind;
 use serde::Serialize;
 
@@ -22,6 +22,13 @@ struct Row {
 }
 
 fn main() {
+    let (obs, _rest) = obs_args(std::env::args().collect());
+    if obs.enabled() {
+        // Fig. 6 measures isolated kernel executions — there is no cluster
+        // run to trace. Accept the shared flags so sweep scripts can pass
+        // them uniformly, but say why nothing is emitted.
+        println!("note: fig6 runs kernels in isolation; --trace/--explain have no effect here\n");
+    }
     println!("Fig. 6: kernel GFLOPS, unoptimized vs optimized\n");
     let mut json = Vec::new();
     for app in AppId::ALL {

@@ -8,19 +8,30 @@
 //!
 //! ```text
 //! cargo run --release -p cashmere-bench --bin gantt
+//! cargo run --release -p cashmere-bench --bin gantt -- --trace out.json --explain
+//! cargo run --release -p cashmere-bench --bin gantt -- --small --trace out.json
 //! ```
+//!
+//! `--trace out.json` writes the run as a Chrome trace-event file (open in
+//! Perfetto or `chrome://tracing`; steals and device-job lineage appear as
+//! flow arrows) plus the balancer audit log (`out.audit.json`), then
+//! re-parses the file to validate it. `--explain` prints the critical-path
+//! analysis, metrics summary, and balancer-decision digest. `--small`
+//! shrinks the problem for CI.
 
 use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
 use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
 use cashmere_apps::KernelSet;
-use cashmere_bench::paper_sim_config;
-use cashmere_bench::Series;
+use cashmere_bench::{obs_args, paper_sim_config, report_run, ObsCapture, Series};
 use cashmere_des::trace::SpanKind;
-use cashmere_des::SimTime;
+use cashmere_des::{ChromeTrace, SimTime};
 use std::fs;
 use std::path::PathBuf;
 
 fn main() {
+    let (obs, rest) = obs_args(std::env::args().collect());
+    let small = rest.iter().any(|a| a == "--small");
+
     // A small heterogeneous cluster so the chart stays readable: the two
     // nodes of the paper's Fig. 16 plus two more GTX480 nodes for realistic
     // stealing traffic.
@@ -32,13 +43,25 @@ fn main() {
             vec!["gtx480".to_string()],
         ],
     };
-    let pr = KmeansProblem {
-        n: 16_000_000,
-        k: 4096,
-        d: 4,
-        iterations: 3,
+    let pr = if small {
+        // CI-sized: same cluster shape (so the trace still shows all node
+        // and device lanes plus steals), a fraction of the points.
+        KmeansProblem {
+            n: 4_000_000,
+            k: 1024,
+            d: 4,
+            iterations: 2,
+        }
+    } else {
+        KmeansProblem {
+            n: 16_000_000,
+            k: 4096,
+            d: 4,
+            iterations: 3,
+        }
     };
-    let app = KmeansApp::phantom(pr, 500_000, 8);
+    let grain = if small { 250_000 } else { 500_000 };
+    let app = KmeansApp::phantom(pr, grain, 8);
     let cents = app.centroids.clone();
     let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
     cfg.trace = true;
@@ -82,6 +105,32 @@ fn main() {
          on the Xeon Phi and 7 on the K20 which is the fastest configuration\")\n",
         phi_node.devices[0].jobs_run, phi_node.devices[1].jobs_run
     );
+
+    // Observability exports: Chrome trace + audit log, critical path.
+    let cap = ObsCapture {
+        trace: trace.clone(),
+        metrics: cluster.metrics().clone(),
+        audit: rt.audit.clone(),
+        horizon,
+    };
+    report_run(&obs, "", &cap);
+    if let Some(path) = &obs.trace_path {
+        // Round-trip the written file so CI (and users) know the export is
+        // valid Chrome trace JSON before feeding it to Perfetto.
+        let text = fs::read_to_string(path).expect("trace file just written");
+        match serde_json::from_str::<ChromeTrace>(&text) {
+            Ok(ct) => println!(
+                "chrome trace OK: {} lanes, {} steal flows, {} events",
+                ct.lane_count(),
+                ct.flow_count("steal"),
+                ct.traceEvents.len()
+            ),
+            Err(e) => {
+                eprintln!("chrome trace INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // CSV export next to the JSON outputs.
     let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

@@ -15,10 +15,15 @@
 //! lossy links, transient launch faults) is injected into the measured
 //! heterogeneous runs and each run's failure accounting is printed; the
 //! single-node calibration runs stay fault-free.
+//!
+//! With `--trace out.json` each measured heterogeneous run writes a Chrome
+//! trace (`out.<app>.json`) plus a balancer audit log; `--explain` prints
+//! the critical-path and metrics summaries after each run.
 
 use cashmere::ClusterSpec;
 use cashmere_bench::{
-    fault_plan_from_args, run_app, run_app_with_faults, write_json, AppId, Series, Table,
+    fault_plan_from_args, obs_args, report_run, run_app, run_app_observed, write_json, AppId,
+    Series, Table,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -51,7 +56,8 @@ fn config_for(app: AppId) -> (ClusterSpec, &'static str) {
 }
 
 fn main() {
-    let (faults, _rest) = fault_plan_from_args();
+    let (faults, rest) = fault_plan_from_args();
+    let (obs, _rest) = obs_args(rest);
     println!("Table III + Fig. 15: heterogeneous executions (optimized kernels)\n");
     let mut json = Vec::new();
     let mut t3 = Table::new(&["application", "GFLOPS", "configuration"]);
@@ -78,13 +84,23 @@ fn main() {
         }
         let attainable: f64 = spec.node_devices.iter().map(|d| single[d]).sum();
 
-        let hetero = run_app_with_faults(app, Series::CashmereOpt, &spec, 42, faults.clone());
+        let (hetero, cap) = run_app_observed(
+            app,
+            Series::CashmereOpt,
+            &spec,
+            42,
+            faults.clone(),
+            obs.enabled(),
+        );
         if let Some(f) = &hetero.failure_summary {
             println!("{} under injected faults:", app.name());
             for line in f.lines() {
                 println!("  {line}");
             }
             println!();
+        }
+        if let Some(cap) = &cap {
+            report_run(&obs, app.name(), cap);
         }
         let hetero_eff = hetero.gflops / attainable;
 

@@ -12,9 +12,16 @@
 //! With `--faults`, the JSON fault plan is injected into every run it
 //! validates for (a plan crashing node 2 skips the 1- and 2-node runs) and
 //! each affected run's failure accounting is printed under its row.
+//!
+//! With `--trace out.json`, every run writes a Chrome trace + balancer
+//! audit log (`out.<app>.<series>.<n>n.json`); `--explain` prints each
+//! run's critical-path and metrics summaries.
 
 use cashmere::ClusterSpec;
-use cashmere_bench::{fault_plan_from_args, run_app_with_faults, write_json, AppId, Series, Table};
+use cashmere_bench::{
+    fault_plan_from_args, obs_args, report_run, run_app_observed, write_json, AppId, ObsArgs,
+    Series, Table,
+};
 use cashmere_des::fault::FaultPlan;
 use serde::Serialize;
 
@@ -40,7 +47,7 @@ fn figure_number(app: AppId) -> (&'static str, &'static str) {
     }
 }
 
-fn run_one(app: AppId, faults: &FaultPlan, json: &mut Vec<Point>) {
+fn run_one(app: AppId, faults: &FaultPlan, obs: &ObsArgs, json: &mut Vec<Point>) {
     let (fig_scal, fig_abs) = figure_number(app);
     println!(
         "{fig_scal} (scalability) / {fig_abs} (absolute performance): {} up to 16 GTX480 nodes\n",
@@ -51,11 +58,15 @@ fn run_one(app: AppId, faults: &FaultPlan, json: &mut Vec<Point>) {
         let mut base: Option<f64> = None;
         for nodes in NODE_COUNTS {
             let spec = ClusterSpec::homogeneous(nodes, "gtx480");
-            let r = run_app_with_faults(app, series, &spec, 42, faults.clone());
+            let (r, cap) = run_app_observed(app, series, &spec, 42, faults.clone(), obs.enabled());
             if let Some(f) = &r.failure_summary {
                 for line in f.lines() {
                     println!("    [{} n={nodes}] {line}", series.name());
                 }
+            }
+            if let Some(cap) = &cap {
+                let label = format!("{}.{}.{}n", app.name(), series.name(), nodes);
+                report_run(obs, &label, cap);
             }
             let b = *base.get_or_insert(r.makespan_s);
             let speedup = b / r.makespan_s;
@@ -83,6 +94,7 @@ fn run_one(app: AppId, faults: &FaultPlan, json: &mut Vec<Point>) {
 
 fn main() {
     let (faults, rest) = fault_plan_from_args();
+    let (obs, rest) = obs_args(rest);
     let arg = rest.get(1).cloned();
     let apps: Vec<AppId> = match arg.as_deref() {
         None => AppId::ALL.to_vec(),
@@ -96,7 +108,7 @@ fn main() {
     };
     let mut json = Vec::new();
     for app in &apps {
-        run_one(*app, &faults, &mut json);
+        run_one(*app, &faults, &obs, &mut json);
     }
     // Single-app runs get their own file so they never clobber the full
     // four-app dataset.

@@ -124,7 +124,13 @@ fn fig2() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
+    let (obs, rest) = cashmere_bench::obs_args(std::env::args().collect());
+    if obs.enabled() {
+        // The tables are static reproductions (TOP500 background, app
+        // classes, hierarchy) — no simulation runs, nothing to trace.
+        println!("note: tables prints static data; --trace/--explain have no effect here\n");
+    }
+    let arg = rest.get(1).cloned().unwrap_or_default();
     match arg.as_str() {
         "table1" => table1(),
         "table2" => table2(),

@@ -13,11 +13,13 @@
 //! All binaries print the series the paper plots and write JSON to
 //! `bench/out/`. Runs are deterministic (fixed seeds, virtual time).
 
+pub mod obs;
 pub mod output;
 pub mod runners;
 
+pub use obs::{labeled_path, obs_args, report_run, ObsArgs, ObsCapture};
 pub use output::{write_json, Table};
 pub use runners::{
     fault_plan_from_args, kernel_gflops, load_fault_plan, paper_sim_config, run_app,
-    run_app_with_faults, AppId, RunOutcome, Series,
+    run_app_observed, run_app_with_faults, AppId, RunOutcome, Series,
 };

@@ -1,0 +1,196 @@
+//! Observability flags shared by the bench bins.
+//!
+//! Every experiment binary accepts
+//!
+//! * `--trace <out.json>` — run with tracing on and write a Chrome
+//!   trace-event file (open in Perfetto or `chrome://tracing`) plus a
+//!   balancer audit log next to it (`<out>.audit.json`);
+//! * `--explain` — print the critical-path analysis, the metrics summary,
+//!   and a balancer-decision digest after the run.
+//!
+//! Bins that execute several runs (scaling sweeps, ablations) derive one
+//! trace file per run by inserting the run label before the extension.
+
+use cashmere::AuditEntry;
+use cashmere_des::obs::{CriticalPath, MetricsRegistry};
+use cashmere_des::trace::Trace;
+use cashmere_des::SimTime;
+use cashmere_satin::critical_path_summary;
+
+/// Parsed observability flags.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// Chrome trace output path (`--trace <path>`).
+    pub trace_path: Option<String>,
+    /// Print critical-path / metrics / audit summaries (`--explain`).
+    pub explain: bool,
+}
+
+impl ObsArgs {
+    /// Does the run need tracing enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.trace_path.is_some() || self.explain
+    }
+}
+
+/// Split `--trace <path>` and `--explain` out of `args` (argv[0] included,
+/// as returned by [`crate::fault_plan_from_args`]). Exits with a message
+/// when `--trace` lacks its path.
+pub fn obs_args(args: Vec<String>) -> (ObsArgs, Vec<String>) {
+    let mut obs = ObsArgs::default();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--trace requires an output path (e.g. --trace out.json)");
+                    std::process::exit(2);
+                };
+                obs.trace_path = Some(path);
+            }
+            "--explain" => obs.explain = true,
+            _ => rest.push(a),
+        }
+    }
+    (obs, rest)
+}
+
+/// Everything one observed run exports: cloned out of the cluster before
+/// it is dropped so the bins can emit files and summaries.
+#[derive(Debug, Clone)]
+pub struct ObsCapture {
+    pub trace: Trace,
+    pub metrics: MetricsRegistry,
+    pub audit: Vec<AuditEntry>,
+    /// End of the last recorded span — the virtual-time horizon the
+    /// critical path is measured against (covers every iteration, unlike
+    /// the per-run makespan).
+    pub horizon: SimTime,
+}
+
+/// Insert `label` before the extension of `base`:
+/// `out.json` + `4n` → `out.4n.json`. Empty labels return `base` as is.
+pub fn labeled_path(base: &str, label: &str) -> String {
+    if label.is_empty() {
+        return base.to_string();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{label}.{ext}"),
+        None => format!("{base}.{label}"),
+    }
+}
+
+/// Audit-log digest: how many decisions went where, and why any degraded
+/// to the CPU leaf.
+fn audit_digest(audit: &[AuditEntry]) -> String {
+    use std::collections::BTreeMap;
+    let mut placed: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut fallbacks: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in audit {
+        match e.chosen {
+            Some(d) => *placed.entry((e.node, d)).or_insert(0) += 1,
+            None => *fallbacks.entry(e.reason.as_str()).or_insert(0) += 1,
+        }
+    }
+    let mut parts: Vec<String> = placed
+        .iter()
+        .map(|((n, d), c)| format!("n{n}.dev{d}={c}"))
+        .collect();
+    parts.extend(fallbacks.iter().map(|(r, c)| format!("{r}={c}")));
+    format!(
+        "balancer audit: {} decisions ({})",
+        audit.len(),
+        parts.join(", ")
+    )
+}
+
+/// Emit everything a run's observability flags ask for: the Chrome trace
+/// and audit JSON when `--trace` is set (per-run paths derived from
+/// `label`), and the critical-path / metrics / audit summaries when
+/// `--explain` is set.
+pub fn report_run(obs: &ObsArgs, label: &str, cap: &ObsCapture) {
+    if let Some(base) = &obs.trace_path {
+        let path = labeled_path(base, label);
+        match std::fs::write(&path, cap.trace.to_chrome_json()) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+        let audit_path = labeled_path(&path, "audit");
+        match serde_json::to_string_pretty(&cap.audit) {
+            Ok(json) => match std::fs::write(&audit_path, json) {
+                Ok(()) => println!("[wrote {audit_path}]"),
+                Err(e) => eprintln!("warning: cannot write {audit_path}: {e}"),
+            },
+            Err(e) => eprintln!("warning: cannot serialize audit log: {e}"),
+        }
+    }
+    if obs.explain {
+        let header = if label.is_empty() {
+            "--- explain ---".to_string()
+        } else {
+            format!("--- explain: {label} ---")
+        };
+        println!("{header}");
+        let cp = CriticalPath::compute(&cap.trace);
+        println!("{}", critical_path_summary(&cp, cap.horizon));
+        if !cap.metrics.is_empty() {
+            println!("{}", cap.metrics.summary(cap.horizon));
+        }
+        if !cap.audit.is_empty() {
+            println!("{}", audit_digest(&cap.audit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_paths() {
+        assert_eq!(labeled_path("out.json", "4n"), "out.4n.json");
+        assert_eq!(labeled_path("out.json", ""), "out.json");
+        assert_eq!(labeled_path("trace", "x"), "trace.x");
+        assert_eq!(labeled_path("a/b.c.json", "audit"), "a/b.c.audit.json");
+    }
+
+    #[test]
+    fn obs_args_split() {
+        let argv = vec![
+            "bin".to_string(),
+            "--trace".to_string(),
+            "t.json".to_string(),
+            "--small".to_string(),
+            "--explain".to_string(),
+        ];
+        let (obs, rest) = obs_args(argv);
+        assert_eq!(obs.trace_path.as_deref(), Some("t.json"));
+        assert!(obs.explain);
+        assert!(obs.enabled());
+        assert_eq!(rest, vec!["bin".to_string(), "--small".to_string()]);
+    }
+
+    #[test]
+    fn audit_digest_counts_outcomes() {
+        use cashmere::balancer::Policy;
+        let e = |chosen: Option<usize>, reason: &str| AuditEntry {
+            seq: 0,
+            node: 0,
+            kernel: "k".into(),
+            submit_ns: 0,
+            policy: Policy::Scenario,
+            candidates: vec![],
+            chosen,
+            reason: reason.into(),
+        };
+        let digest = audit_digest(&[
+            e(Some(0), "placed"),
+            e(Some(0), "placed"),
+            e(None, "no-usable-device"),
+        ]);
+        assert!(digest.contains("3 decisions"), "{digest}");
+        assert!(digest.contains("n0.dev0=2"), "{digest}");
+        assert!(digest.contains("no-usable-device=1"), "{digest}");
+    }
+}

@@ -6,7 +6,8 @@
 //! job creation because it needs to create 8 times more jobs to keep one
 //! node busy" (Sec. V-B).
 
-use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
+use crate::obs::ObsCapture;
+use cashmere::{build_cluster, AuditEntry, ClusterSpec, RuntimeConfig};
 use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
 use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
 use cashmere_apps::nbody::{self, NbodyApp, NbodyProblem};
@@ -16,7 +17,7 @@ use cashmere_des::fault::FaultPlan;
 use cashmere_devsim::{ExecMode, SimDevice};
 use cashmere_hwdesc::DeviceKind;
 use cashmere_mcl::interp::Sampling;
-use cashmere_satin::{ClusterSim, RunReport, SimConfig};
+use cashmere_satin::{ClusterApp, ClusterSim, LeafRuntime, RunReport, SimConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -169,15 +170,28 @@ fn failures_of(r: &RunReport) -> Option<String> {
     r.saw_failures().then(|| r.failure_summary())
 }
 
+/// Clone the observability exports (span trace, metrics, audit log) out of
+/// a finished run, when observing.
+fn capture_of<A: ClusterApp, L: LeafRuntime<A>>(
+    on: bool,
+    cs: &ClusterSim<A, L>,
+    audit: Vec<AuditEntry>,
+) -> Option<ObsCapture> {
+    on.then(|| ObsCapture {
+        trace: cs.trace().clone(),
+        metrics: cs.metrics().clone(),
+        audit,
+        horizon: cs.trace().horizon(),
+    })
+}
+
 /// Run one application in one series on the given cluster; phantom mode,
 /// paper problem sizes.
 pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> RunOutcome {
     run_app_with_faults(app, series, spec, seed, FaultPlan::default())
 }
 
-/// [`run_app`] with an injected fault plan. Plans that do not validate for
-/// this cluster size (e.g. crashing a node the spec does not have) are
-/// skipped with a note, so one plan can ride through a whole node sweep.
+/// [`run_app`] with an injected fault plan.
 pub fn run_app_with_faults(
     app: AppId,
     series: Series,
@@ -185,7 +199,25 @@ pub fn run_app_with_faults(
     seed: u64,
     faults: FaultPlan,
 ) -> RunOutcome {
+    run_app_observed(app, series, spec, seed, faults, false).0
+}
+
+/// [`run_app`] with an injected fault plan and optional observability:
+/// when `observe` is set the run executes with tracing on and returns the
+/// captured span trace, metrics, and balancer audit log alongside the
+/// outcome. Fault plans that do not validate for this cluster size (e.g.
+/// crashing a node the spec does not have) are skipped with a note, so one
+/// plan can ride through a whole node sweep.
+pub fn run_app_observed(
+    app: AppId,
+    series: Series,
+    spec: &ClusterSpec,
+    seed: u64,
+    faults: FaultPlan,
+    observe: bool,
+) -> (RunOutcome, Option<ObsCapture>) {
     let mut cfg = paper_sim_config(series, seed);
+    cfg.trace = observe;
     match faults.validate(spec.nodes()) {
         Ok(()) => cfg.faults = faults,
         Err(e) => {
@@ -204,7 +236,7 @@ pub fn run_app_with_faults(
     // Satin: leaves sized for a single core (8× more jobs per node).
     let satin_grain = (grain / 8).max(1);
 
-    let (makespan_s, total_flops, kernels, fallbacks, steals, bytes, failures) = match app {
+    let (makespan_s, total_flops, kernels, fallbacks, steals, bytes, failures, cap) = match app {
         AppId::Raytracer => {
             let pr = RaytracerProblem::paper();
             match series {
@@ -230,6 +262,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, Vec::new()),
                     )
                 }
                 _ => {
@@ -246,6 +279,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, l.audit.clone()),
                     )
                 }
             }
@@ -280,6 +314,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, Vec::new()),
                     )
                 }
                 _ => {
@@ -300,6 +335,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, l.audit.clone()),
                     )
                 }
             }
@@ -330,6 +366,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, Vec::new()),
                     )
                 }
                 _ => {
@@ -347,6 +384,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, l.audit.clone()),
                     )
                 }
             }
@@ -376,6 +414,7 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, Vec::new()),
                     )
                 }
                 _ => {
@@ -392,13 +431,14 @@ pub fn run_app_with_faults(
                         r.steals_ok,
                         r.bytes_total(),
                         failures_of(r),
+                        capture_of(observe, &cs, l.audit.clone()),
                     )
                 }
             }
         }
     };
 
-    RunOutcome {
+    let outcome = RunOutcome {
         app: app.name().to_string(),
         series: series.name().to_string(),
         nodes: spec.nodes(),
@@ -409,7 +449,8 @@ pub fn run_app_with_faults(
         steals_ok: steals,
         network_bytes: bytes,
         failure_summary: failures,
-    }
+    };
+    (outcome, cap)
 }
 
 /// Fig. 6 measurement: kernel execution time alone (no transfers) for one

@@ -40,6 +40,28 @@ pub struct QueueView {
     pub queued: usize,
 }
 
+/// One device's candidacy for a kernel call, as seen by the balancer at
+/// decision time. Rows of the audit log's candidate tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceEstimate {
+    pub device: usize,
+    /// Jobs queued or running on the device when the choice was made.
+    pub queued: usize,
+    /// Per-job time estimate in seconds (measured, extrapolated from a
+    /// measured reference, or the static-table reciprocal).
+    pub estimate_s: f64,
+    /// Whether the estimate comes from a measured execution of this kernel
+    /// on this device (the paper's second phase) rather than the static
+    /// speed table.
+    pub measured: bool,
+    pub dead: bool,
+    /// Whether the device has an applicable kernel version.
+    pub allowed: bool,
+    /// Scenario makespan `max_e (queued_e + [e==d])·t_e` if the job were
+    /// sent here; `None` when the device is not a candidate.
+    pub scenario_s: Option<f64>,
+}
+
 /// The per-node balancer: static speed table seeding + measured kernel
 /// times per device.
 #[derive(Debug, Clone, Default)]
@@ -220,6 +242,41 @@ impl Balancer {
         }
         best.map(|(d, _)| d)
     }
+
+    /// Explain a decision: the full candidate table the scenario rule saw
+    /// (one row per device, including excluded ones), for the audit log.
+    /// `scenario_s` is populated exactly as [`Balancer::choose_among`] with
+    /// [`Policy::Scenario`] would compute it, so the row with the smallest
+    /// `scenario_s` (lowest index on ties) is the device that rule picks.
+    pub fn explain(&self, kernel: &str, allowed: &[bool]) -> Vec<DeviceEstimate> {
+        assert_eq!(allowed.len(), self.speeds.len());
+        let times = self.estimates(kernel);
+        (0..self.speeds.len())
+            .map(|d| {
+                let candidate = allowed[d] && !self.dead[d];
+                let scenario_s = candidate.then(|| {
+                    let mut scenario: f64 = 0.0;
+                    for (e, t) in times.iter().enumerate() {
+                        if self.dead[e] {
+                            continue;
+                        }
+                        let q = self.queued[e] + usize::from(e == d);
+                        scenario = scenario.max(q as f64 * t);
+                    }
+                    scenario
+                });
+                DeviceEstimate {
+                    device: d,
+                    queued: self.queued[d],
+                    estimate_s: times[d],
+                    measured: self.measured.contains_key(&(kernel.to_string(), d)),
+                    dead: self.dead[d],
+                    allowed: allowed[d],
+                    scenario_s,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +412,35 @@ mod tests {
         b.retire_device(1);
         assert!(!b.any_alive());
         assert_eq!(b.choose_among("k", &[true, true]), None);
+    }
+
+    #[test]
+    fn explain_reproduces_the_paper_scenarios() {
+        // Same setup as `paper_example_k20_vs_gtx480`.
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        b.on_submit(0);
+        b.on_complete("k", 0, ms(100));
+        b.on_submit(1);
+        b.on_complete("k", 1, ms(125));
+        for _ in 0..3 {
+            b.on_submit(0);
+        }
+        b.on_submit(1);
+        let rows = b.explain("k", &[true, true]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].measured && rows[1].measured);
+        assert_eq!(rows[0].queued, 3);
+        assert_eq!(rows[1].queued, 1);
+        // scenario1 = max(4·100, 1·125) = 400 ms; scenario2 = 300 ms.
+        assert!((rows[0].scenario_s.unwrap() - 0.400).abs() < 1e-12);
+        assert!((rows[1].scenario_s.unwrap() - 0.300).abs() < 1e-12);
+        // The row with the smallest scenario is what choose_among picks.
+        assert_eq!(b.choose_among("k", &[true, true]), Some(1));
+        // Excluded devices keep their estimate but get no scenario.
+        let rows = b.explain("k", &[true, false]);
+        assert!(rows[0].scenario_s.is_some());
+        assert!(rows[1].scenario_s.is_none());
+        assert!(!rows[1].allowed);
     }
 
     #[test]

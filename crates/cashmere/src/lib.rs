@@ -87,11 +87,11 @@ pub mod registry;
 pub mod runtime;
 pub mod spec;
 
-pub use balancer::Balancer;
+pub use balancer::{Balancer, DeviceEstimate};
 pub use init::{initialize, InitReport};
 pub use paper_api::{Cashmere, KernelHandle, KernelLaunch, LaunchError, LaunchResult};
 pub use registry::{arg_shape, KernelRegistry, StatsKey};
-pub use runtime::{CashmereApp, CashmereLeafRuntime, KernelCall, RuntimeConfig};
+pub use runtime::{AuditEntry, CashmereApp, CashmereLeafRuntime, KernelCall, RuntimeConfig};
 pub use spec::ClusterSpec;
 
 use cashmere_satin::{ClusterSim, SimConfig};

@@ -23,10 +23,11 @@
 //! 5. falls back to the CPU leaf when no kernel version applies or device
 //!    memory is exhausted (the paper's try/catch → `leafCPU` pattern).
 
-use crate::balancer::Balancer;
+use crate::balancer::{Balancer, DeviceEstimate, Policy};
 use crate::registry::{arg_shape, KernelRegistry, StatsKey};
 use cashmere_des::fault::FaultInjector;
-use cashmere_des::trace::{LaneId, SpanKind, Trace};
+use cashmere_des::obs::MetricsRegistry;
+use cashmere_des::trace::{LaneId, SpanId, SpanKind, Trace};
 use cashmere_des::SimTime;
 use cashmere_devsim::{ExecMode, SimDevice};
 use cashmere_mcl::cost::estimate_time;
@@ -117,6 +118,29 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// One balancer decision, recorded for the audit log (tracing runs only):
+/// the candidate table the Sec. III-B rule evaluated and where the job
+/// actually went. Terminal outcomes only — a transient launch fault or a
+/// mid-flight device death re-enters the decision loop and produces a fresh
+/// entry instead.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Decision sequence number (audit-log index).
+    pub seq: u64,
+    pub node: usize,
+    pub kernel: String,
+    /// Virtual submission time of the device job, in ns.
+    pub submit_ns: u64,
+    pub policy: Policy,
+    /// Per-device estimates and scenario makespans at decision time.
+    pub candidates: Vec<DeviceEstimate>,
+    /// Device the job ran on; `None` when it degraded to the CPU leaf.
+    pub chosen: Option<usize>,
+    /// `"placed"`, or why the job fell back to the CPU
+    /// (`"no-usable-device"`, `"launch-fault-budget"`, `"memory-exhausted"`).
+    pub reason: String,
+}
+
 /// Trace lanes of one device (mirrors the paper's Gantt queues, Fig. 16).
 #[derive(Debug, Clone, Copy)]
 struct DevLanes {
@@ -170,6 +194,8 @@ pub struct CashmereLeafRuntime {
     pub kernels_run: u64,
     /// Device jobs that fell back to the CPU.
     pub cpu_fallbacks: u64,
+    /// Balancer decision audit log (populated only when tracing is on).
+    pub audit: Vec<AuditEntry>,
 }
 
 impl CashmereLeafRuntime {
@@ -213,6 +239,7 @@ impl CashmereLeafRuntime {
             config,
             kernels_run: 0,
             cpu_fallbacks: 0,
+            audit: Vec::new(),
         })
     }
 
@@ -244,6 +271,28 @@ impl CashmereLeafRuntime {
         report.devices_lost += 1;
     }
 
+    /// Append one decision to the audit log (tracing runs only).
+    fn push_audit(
+        &mut self,
+        node: usize,
+        call: &KernelCall,
+        submit_at: SimTime,
+        candidates: Vec<DeviceEstimate>,
+        chosen: Option<usize>,
+        reason: &str,
+    ) {
+        self.audit.push(AuditEntry {
+            seq: self.audit.len() as u64,
+            node,
+            kernel: call.kernel.clone(),
+            submit_ns: submit_at.as_nanos(),
+            policy: self.config.balancer_policy,
+            candidates,
+            chosen,
+            reason: reason.to_string(),
+        });
+    }
+
     /// Execute one device job: balancer choice, transfers, kernel. Returns
     /// `(completion_time, output)`.
     ///
@@ -261,6 +310,8 @@ impl CashmereLeafRuntime {
         submit_at: SimTime,
         cpu_cursor: &mut SimTime,
         trace: &mut Trace,
+        metrics: &mut MetricsRegistry,
+        parent_span: SpanId,
         faults: &mut FaultInjector,
         report: &mut RunReport,
     ) -> (SimTime, A::Output) {
@@ -296,6 +347,12 @@ impl CashmereLeafRuntime {
                 .map(|(ok, d)| *ok && !d.dead)
                 .collect();
 
+            // Snapshot the candidate table before the choice (the audit log
+            // must show what the rule saw, not the post-submit queues).
+            let candidates = trace
+                .enabled()
+                .then(|| nd.balancer.explain(&call.kernel, &allowed));
+
             let chosen = nd.balancer.choose_among(&call.kernel, &allowed);
             let Some(didx) = chosen else {
                 // No device can run this kernel: leafCPU fallback,
@@ -309,6 +366,9 @@ impl CashmereLeafRuntime {
                     report.fault_cpu_fallbacks += 1;
                 }
                 self.cpu_fallbacks += 1;
+                if let Some(candidates) = candidates {
+                    self.push_audit(node, &call, submit_at, candidates, None, "no-usable-device");
+                }
                 let (cpu, out) = app.leaf_cpu(job);
                 let done = (*cpu_cursor).max(submit_at) + cpu;
                 *cpu_cursor = done;
@@ -324,6 +384,16 @@ impl CashmereLeafRuntime {
                 if launch_attempts >= LAUNCH_RETRY_BUDGET {
                     report.fault_cpu_fallbacks += 1;
                     self.cpu_fallbacks += 1;
+                    if let Some(candidates) = candidates {
+                        self.push_audit(
+                            node,
+                            &call,
+                            submit_at,
+                            candidates,
+                            None,
+                            "launch-fault-budget",
+                        );
+                    }
                     let (cpu, out) = app.leaf_cpu(job);
                     let done = (*cpu_cursor).max(submit_at) + cpu;
                     *cpu_cursor = done;
@@ -333,8 +403,19 @@ impl CashmereLeafRuntime {
                 continue;
             }
 
-            let (done, out) = match self.schedule_on_device(
-                app, node, didx, job, &call, submit_at, cpu_cursor, trace, faults, report,
+            let (done, out, placed) = match self.schedule_on_device(
+                app,
+                node,
+                didx,
+                job,
+                &call,
+                submit_at,
+                cpu_cursor,
+                trace,
+                metrics,
+                parent_span,
+                faults,
+                report,
             ) {
                 Ok(done_out) => done_out,
                 Err(resubmit_at) => {
@@ -344,14 +425,22 @@ impl CashmereLeafRuntime {
                     continue;
                 }
             };
+            if let Some(candidates) = candidates {
+                if placed {
+                    self.push_audit(node, &call, submit_at, candidates, Some(didx), "placed");
+                } else {
+                    self.push_audit(node, &call, submit_at, candidates, None, "memory-exhausted");
+                }
+            }
             return (done, out);
         }
     }
 
     /// Place one device job on the chosen device. Returns
     /// `Err(death_time)` when the device's injected death aborts the job
-    /// in flight; `Ok((completion, output))` otherwise. Falls back to the
-    /// CPU only for memory exhaustion (pre-existing model behavior).
+    /// in flight; `Ok((completion, output, placed))` otherwise, where
+    /// `placed` is false when memory exhaustion degraded the job to the CPU
+    /// leaf (pre-existing model behavior).
     #[allow(clippy::too_many_arguments)]
     fn schedule_on_device<A: CashmereApp>(
         &mut self,
@@ -363,9 +452,11 @@ impl CashmereLeafRuntime {
         submit_at: SimTime,
         cpu_cursor: &mut SimTime,
         trace: &mut Trace,
+        metrics: &mut MetricsRegistry,
+        parent_span: SpanId,
         faults: &mut FaultInjector,
         report: &mut RunReport,
-    ) -> Result<(SimTime, A::Output), SimTime> {
+    ) -> Result<(SimTime, A::Output, bool), SimTime> {
         let nd = &mut self.nodes[node];
         // Device memory for inputs and outputs. "Cashmere automatically
         // manages the available memory on a device": under memory pressure
@@ -408,7 +499,7 @@ impl CashmereLeafRuntime {
                         let (cpu, out) = app.leaf_cpu(job);
                         let done = (*cpu_cursor).max(submit_at) + cpu;
                         *cpu_cursor = done;
-                        return Ok((done, out));
+                        return Ok((done, out, false));
                     }
                 }
             }
@@ -528,34 +619,50 @@ impl CashmereLeafRuntime {
                     l
                 }
             };
-            trace.record(
+            // Causal chain of the device job: the node-level leaf span
+            // fathers the h2d copy, which fathers the kernel, which fathers
+            // the d2h copy — lineage a flow arrow can follow end to end.
+            let h2d_span = trace.record_child(
                 lanes.h2d,
                 SpanKind::CopyToDevice,
                 call.kernel.clone(),
                 h2d_s,
                 h2d_e,
+                parent_span,
             );
-            trace.record(
+            let exec_span = trace.record_child(
                 lanes.exec,
                 SpanKind::Kernel,
                 call.kernel.clone(),
                 ex_s,
                 ex_e,
+                h2d_span,
             );
-            trace.record(
+            trace.record_child(
                 lanes.d2h,
                 SpanKind::CopyFromDevice,
                 call.kernel.clone(),
                 dh_s,
                 dh_e,
+                exec_span,
             );
         }
+        metrics.observe("pcie.h2d", h2d_e - h2d_s);
+        metrics.observe("kernel.exec", ex_e - ex_s);
+        metrics.observe("pcie.d2h", dh_e - dh_s);
 
         nd.balancer.on_submit(didx);
+        if metrics.enabled() {
+            metrics.gauge_set(
+                &format!("n{node}.dev{didx}.queue"),
+                effective_submit,
+                nd.balancer.queued(didx) as f64,
+            );
+        }
         nd.pending
             .push((call.kernel.clone(), didx, kernel_time, dh_e));
 
-        Ok((dh_e, app.job_output(job, args_back)))
+        Ok((dh_e, app.job_output(job, args_back), true))
     }
 }
 
@@ -565,7 +672,9 @@ impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
             node,
             now,
             trace,
+            metrics,
             cpu_lane: _,
+            parent_span,
             faults,
             report,
         } = ctx;
@@ -584,6 +693,8 @@ impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
                 submit,
                 &mut cpu_cursor,
                 trace,
+                metrics,
+                parent_span,
                 faults,
                 report,
             );

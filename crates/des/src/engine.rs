@@ -5,6 +5,7 @@
 //! events scheduled for the same instant fire in the order they were
 //! scheduled — this is what makes runs deterministic.
 
+use crate::obs::MetricsRegistry;
 use crate::time::SimTime;
 use crate::trace::Trace;
 use std::cmp::Ordering;
@@ -56,6 +57,8 @@ pub struct Sim<W> {
     events_fired: u64,
     /// Activity trace (Gantt spans, see [`crate::trace`]).
     pub trace: Trace,
+    /// Metrics registry (counters, gauges, histograms; see [`crate::obs`]).
+    pub metrics: MetricsRegistry,
     seed: u64,
 }
 
@@ -70,6 +73,7 @@ impl<W> Sim<W> {
             cancelled: HashSet::new(),
             events_fired: 0,
             trace: Trace::new(),
+            metrics: MetricsRegistry::new(),
             seed,
         }
     }

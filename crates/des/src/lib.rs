@@ -33,6 +33,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod obs;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -43,8 +44,9 @@ pub use engine::{Event, EventHandle, Sim};
 pub use fault::{
     DeviceFailure, FaultInjector, FaultPlan, LaunchFaultWindow, LinkFault, MessageFate, NodeCrash,
 };
+pub use obs::{ChromeTrace, CriticalPath, LatencyHistogram, MetricsRegistry};
 pub use resource::Resource;
 pub use rng::StreamRng;
 pub use stats::{Counter, TimeWeighted};
 pub use time::SimTime;
-pub use trace::{Gantt, LaneId, Span, SpanKind, Trace};
+pub use trace::{Gantt, LaneId, Span, SpanId, SpanKind, Trace};

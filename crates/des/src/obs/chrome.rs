@@ -1,0 +1,266 @@
+//! Chrome trace-event JSON export for [`Trace`], openable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Lanes become named tracks (`thread_name` metadata + `tid`), every span
+//! becomes a complete (`"X"`) event, and every causal parent→child edge that
+//! crosses lanes becomes a flow arrow (`"s"`/`"f"` pair) — which is exactly
+//! the set of steals, result transfers and host↔device hops.
+//!
+//! The writer is hand-rolled so the byte layout is fully deterministic:
+//! events are emitted in lane order then span-recording order, timestamps are
+//! fixed-point microseconds (`ns/1000` with three decimals), and no wall
+//! clock is consulted. Two identical seeded runs produce identical bytes.
+
+use crate::time::SimTime;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Append a JSON string literal (mirrors the `serde_json` shim's escaping).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a trace-event timestamp: microseconds with fixed three-decimal
+/// nanosecond precision (deterministic, no float formatting involved).
+fn push_ts(out: &mut String, t: SimTime) {
+    let ns = t.as_nanos();
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+impl Trace {
+    /// Export the trace in Chrome trace-event JSON format.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+            out.push('\n');
+        };
+        // Track names: one metadata event per lane, tid = lane index.
+        for (i, name) in self.lane_names().iter().enumerate() {
+            sep(&mut out);
+            out.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"cat\":\"__metadata\",");
+            let _ = write!(out, "\"pid\":1,\"tid\":{i},\"ts\":0,\"args\":{{\"name\":");
+            push_json_str(&mut out, name);
+            out.push_str("}}");
+        }
+        // Spans: complete events carrying their tree ids in `args`.
+        for s in self.spans() {
+            sep(&mut out);
+            out.push_str("{\"ph\":\"X\",\"name\":");
+            push_json_str(&mut out, &s.label);
+            let _ = write!(
+                out,
+                ",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":",
+                s.kind.name(),
+                s.lane.0
+            );
+            push_ts(&mut out, s.start);
+            out.push_str(",\"dur\":");
+            push_ts(&mut out, s.end - s.start);
+            let _ = write!(out, ",\"args\":{{\"span\":{}", s.id.0);
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, ",\"parent\":{}", p.0);
+                }
+                None => out.push_str(",\"parent\":null"),
+            }
+            out.push_str("}}");
+        }
+        // Flow arrows for causal edges that cross lanes (steals, transfers).
+        for s in self.spans() {
+            let Some(parent) = s.parent.and_then(|p| self.span(p)) else {
+                continue;
+            };
+            if parent.lane == s.lane {
+                continue;
+            }
+            // The arrow leaves the parent no later than the child starts.
+            let depart = parent.end.min(s.start);
+            sep(&mut out);
+            out.push_str("{\"ph\":\"s\",\"name\":");
+            push_json_str(&mut out, &s.label);
+            let _ = write!(
+                out,
+                ",\"cat\":\"flow\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":",
+                s.id.0, parent.lane.0
+            );
+            push_ts(&mut out, depart);
+            out.push('}');
+            sep(&mut out);
+            out.push_str("{\"ph\":\"f\",\"bp\":\"e\",\"name\":");
+            push_json_str(&mut out, &s.label);
+            let _ = write!(
+                out,
+                ",\"cat\":\"flow\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":",
+                s.id.0, s.lane.0
+            );
+            push_ts(&mut out, s.start);
+            out.push('}');
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}");
+        out
+    }
+}
+
+/// Deserialized form of an exported trace; lets tests and CI validate the
+/// emitted JSON through `serde_json` without a real Chrome around.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct ChromeTrace {
+    pub traceEvents: Vec<ChromeEvent>,
+    pub displayTimeUnit: String,
+}
+
+/// One event of a [`ChromeTrace`]; optional fields are phase-dependent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    pub ph: String,
+    pub name: String,
+    pub cat: String,
+    pub pid: u64,
+    pub tid: u64,
+    pub ts: f64,
+    pub dur: Option<f64>,
+    pub id: Option<u64>,
+    pub bp: Option<String>,
+    pub args: Option<ChromeArgs>,
+}
+
+/// The `args` payload: `name` on metadata events, `span`/`parent` on spans.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChromeArgs {
+    pub name: Option<String>,
+    pub span: Option<u64>,
+    pub parent: Option<u64>,
+}
+
+impl ChromeTrace {
+    /// Distinct track lanes, i.e. `thread_name` metadata events.
+    pub fn lane_count(&self) -> usize {
+        self.traceEvents
+            .iter()
+            .filter(|e| e.ph == "M" && e.name == "thread_name")
+            .count()
+    }
+
+    /// Flow-start events (`"s"`) whose name matches `label`.
+    pub fn flow_count(&self, label: &str) -> usize {
+        self.traceEvents
+            .iter()
+            .filter(|e| e.ph == "s" && e.name == label)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanKind;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn chrome_json_round_trips_through_serde_json() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let cpu = tr.add_lane("node0.cpu");
+        let net = tr.add_lane("node0.net");
+        let dev = tr.add_lane("n0.gpu0.exec");
+        let divide = tr.record(cpu, SpanKind::CpuTask, "divide", t(0), t(10));
+        let steal = tr.record_child(net, SpanKind::Steal, "steal", t(10), t(30), divide);
+        let leaf = tr.record_child(cpu, SpanKind::CpuTask, "leaf", t(31), t(400), steal);
+        tr.record_child(
+            dev,
+            SpanKind::Kernel,
+            "kmeans \"v2\"\n",
+            t(40),
+            t(390),
+            leaf,
+        );
+        let json = tr.to_chrome_json();
+        let parsed: ChromeTrace = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed.displayTimeUnit, "ns");
+        assert_eq!(parsed.lane_count(), 3);
+        // 4 X events with ids threaded through args.
+        let xs: Vec<_> = parsed.traceEvents.iter().filter(|e| e.ph == "X").collect();
+        assert_eq!(xs.len(), 4);
+        assert_eq!(xs[0].args.as_ref().unwrap().span, Some(0));
+        assert_eq!(xs[1].args.as_ref().unwrap().parent, Some(0));
+        assert_eq!(xs[0].args.as_ref().unwrap().parent, None);
+        // Three cross-lane edges -> three s/f pairs; the steal has one.
+        assert_eq!(parsed.flow_count("steal"), 1);
+        let fs = parsed.traceEvents.iter().filter(|e| e.ph == "f").count();
+        assert_eq!(fs, 3);
+        // Timestamps are microseconds.
+        assert_eq!(xs[0].ts, 0.0);
+        assert_eq!(xs[0].dur, Some(10.0));
+        // Re-serializing the parsed form is itself valid JSON.
+        let again = serde_json::to_string(&parsed).unwrap();
+        let reparsed: ChromeTrace = serde_json::from_str(&again).unwrap();
+        assert_eq!(reparsed.traceEvents.len(), parsed.traceEvents.len());
+    }
+
+    #[test]
+    fn same_lane_children_emit_no_flow() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let cpu = tr.add_lane("cpu");
+        let a = tr.record(cpu, SpanKind::CpuTask, "a", t(0), t(5));
+        tr.record_child(cpu, SpanKind::CpuTask, "b", t(5), t(9), a);
+        let parsed: ChromeTrace = serde_json::from_str(&tr.to_chrome_json()).unwrap();
+        assert!(parsed.traceEvents.iter().all(|e| e.ph != "s"));
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_identical_traces() {
+        let build = || {
+            let mut tr = Trace::new();
+            tr.set_enabled(true);
+            let a = tr.add_lane("a");
+            let b = tr.add_lane("b");
+            let r = tr.record(a, SpanKind::CpuTask, "root", t(0), t(3));
+            tr.record_child(b, SpanKind::Network, "hop", t(3), t(7), r);
+            tr.to_chrome_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn fractional_microsecond_timestamps_keep_ns_precision() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        tr.record(
+            a,
+            SpanKind::Other,
+            "x",
+            SimTime::from_nanos(1234),
+            SimTime::from_nanos(5678),
+        );
+        let json = tr.to_chrome_json();
+        assert!(json.contains("\"ts\":1.234"));
+        assert!(json.contains("\"dur\":4.444"));
+    }
+}

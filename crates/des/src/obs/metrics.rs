@@ -1,0 +1,370 @@
+//! Metrics registry: named counters, time-weighted gauges and log-scaled
+//! latency histograms.
+//!
+//! Everything here is deterministic: storage is `BTreeMap`-keyed, histogram
+//! buckets are powers of two of simulated nanoseconds, and no wall-clock or
+//! RNG state is consulted, so two identical seeded runs render byte-identical
+//! summaries. Recording is gated by an `enabled` flag (set alongside trace
+//! recording) so the hot path costs one branch when observability is off.
+
+use crate::stats::TimeWeighted;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets: bucket `i` holds durations with bit length `i`,
+/// i.e. `[2^(i-1), 2^i)` ns (bucket 0 holds exact zeros).
+const BUCKETS: usize = 65;
+
+/// A latency histogram with logarithmic (power-of-two) buckets.
+///
+/// Quantiles are resolved to a bucket's upper bound clamped into the observed
+/// `[min, max]` range, so they are exact for single-valued distributions and
+/// accurate to within a factor of two otherwise — plenty for telling a 2 µs
+/// steal RTT from a 2 ms PCIe transfer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    (u64::BITS - ns.leading_zeros()) as usize
+}
+
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, value: SimTime) {
+        let ns = value.as_nanos();
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn min(&self) -> SimTime {
+        SimTime::from_nanos(if self.count == 0 { 0 } else { self.min_ns })
+    }
+
+    pub fn max(&self) -> SimTime {
+        SimTime::from_nanos(self.max_ns)
+    }
+
+    pub fn mean(&self) -> SimTime {
+        SimTime::from_nanos(self.sum_ns.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, resolved to
+    /// bucket granularity.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return SimTime::from_nanos(bucket_upper_bound(i).clamp(self.min_ns, self.max_ns));
+            }
+        }
+        SimTime::from_nanos(self.max_ns)
+    }
+
+    pub fn p50(&self) -> SimTime {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> SimTime {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> SimTime {
+        self.quantile(0.99)
+    }
+}
+
+/// Central registry of named metrics, owned by the simulation
+/// ([`crate::Sim::metrics`]). Names are dotted paths such as
+/// `node1.busy_cores` or `pcie.h2d`.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, TimeWeighted>,
+    histograms: BTreeMap<String, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn recording on or off (mirrors [`crate::Trace::set_enabled`]).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set a time-weighted gauge to `value` at simulated time `now`.
+    /// Out-of-order timestamps (overlapping leaves submit into the future)
+    /// are clamped to the gauge's last update time.
+    pub fn gauge_set(&mut self, name: &str, now: SimTime, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        match self.gauges.get_mut(name) {
+            Some(g) => g.update_clamped(now, value),
+            None => {
+                self.gauges
+                    .insert(name.to_string(), TimeWeighted::new(now, value));
+            }
+        }
+    }
+
+    /// Record a latency observation into a histogram.
+    pub fn observe(&mut self, name: &str, value: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LatencyHistogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// A counter's value (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<&TimeWeighted> {
+        self.gauges.get(name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &TimeWeighted)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LatencyHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Deterministic text rendering of every metric; `now` closes out the
+    /// time-weighted gauges.
+    pub fn summary(&self, now: SimTime) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "counter   {name} = {v}");
+        }
+        for (name, g) in self.gauges() {
+            let _ = writeln!(
+                out,
+                "gauge     {name}: mean {:.2}, max {:.2}",
+                g.mean(now),
+                g.max()
+            );
+        }
+        for (name, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "histogram {name}: n={} p50 {} p95 {} p99 {} max {}",
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn histogram_single_value_quantiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(t(1500));
+        }
+        assert_eq!(h.p50(), t(1500));
+        assert_eq!(h.p95(), t(1500));
+        assert_eq!(h.p99(), t(1500));
+        assert_eq!(h.min(), t(1500));
+        assert_eq!(h.max(), t(1500));
+        assert_eq!(h.mean(), t(1500));
+    }
+
+    #[test]
+    fn histogram_quantiles_on_known_distribution() {
+        // 90 values of ~1 µs, 9 of ~1 ms, 1 of ~1 s: p50 must sit in the µs
+        // decade, p95 in the ms decade, p99+ reaches the outlier's bucket.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(t(1_000));
+        }
+        for _ in 0..9 {
+            h.record(t(1_000_000));
+        }
+        h.record(t(1_000_000_000));
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50().as_nanos();
+        assert!((1_000..2_048).contains(&p50), "p50 = {p50}");
+        let p95 = h.p95().as_nanos();
+        assert!((1_000_000..2_097_152).contains(&p95), "p95 = {p95}");
+        let p995 = h.quantile(0.995).as_nanos();
+        assert!(p995 >= 1_000_000_000, "p99.5 = {p995}");
+        // Quantiles never exceed the observed maximum.
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn histogram_is_within_a_factor_of_two() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(t(v * 1_000));
+        }
+        let exact_p50 = 500_000u64;
+        let got = h.p50().as_nanos();
+        assert!(
+            got >= exact_p50 / 2 && got <= exact_p50 * 2,
+            "p50 {got} vs exact {exact_p50}"
+        );
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), SimTime::ZERO);
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::ZERO);
+        assert_eq!(h.p50(), SimTime::ZERO);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_gates_on_enabled() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.observe("h", t(5));
+        m.gauge_set("g", t(0), 1.0);
+        assert!(m.is_empty());
+        m.set_enabled(true);
+        m.inc("a");
+        m.add("a", 2);
+        m.observe("h", t(5));
+        m.gauge_set("g", t(0), 1.0);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.histogram("h").unwrap().count(), 1);
+        assert!(m.gauge("g").is_some());
+    }
+
+    #[test]
+    fn gauge_tolerates_out_of_order_updates() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.gauge_set("g", t(100), 2.0);
+        // An earlier timestamp (overlapping submission) must not panic and
+        // clamps to the last update time.
+        m.gauge_set("g", t(50), 4.0);
+        m.gauge_set("g", t(200), 0.0);
+        let g = m.gauge("g").unwrap();
+        assert_eq!(g.max(), 4.0);
+        // Weighted mean over [100, 300): 2.0 held 0 ns, 4.0 held 100 ns,
+        // 0.0 held 100 ns.
+        assert!((g.mean(t(300)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.inc("z.last");
+        m.inc("a.first");
+        m.observe("lat", t(1000));
+        let s1 = m.summary(t(2000));
+        let s2 = m.summary(t(2000));
+        assert_eq!(s1, s2);
+        let a = s1.find("a.first").unwrap();
+        let z = s1.find("z.last").unwrap();
+        assert!(a < z, "counters render in sorted order");
+    }
+}

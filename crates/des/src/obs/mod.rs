@@ -1,0 +1,24 @@
+//! Observability layer: metrics registry, Chrome trace-event export, and
+//! critical-path analysis over the causal span tree.
+//!
+//! The paper reads every result off a Gantt chart or a measured-time table;
+//! this module makes that the default workflow for the simulator. The
+//! [`crate::Trace`] span tree (ids + parent links, recorded by the Satin and
+//! Cashmere layers) feeds three consumers:
+//!
+//! - [`metrics`]: counters, time-weighted gauges and log-scaled latency
+//!   histograms, owned by the simulation ([`crate::Sim::metrics`]).
+//! - [`chrome`]: `Trace::to_chrome_json()` export, openable in Perfetto or
+//!   `chrome://tracing`, with lanes as tracks and flow arrows for the causal
+//!   edges that cross lanes (steals, result transfers, PCIe copies).
+//! - [`critical`]: the longest dependency chain from the root spawn to the
+//!   final combine, attributed per [`crate::SpanKind`], so "makespan = X,
+//!   critical path = 62% kernel / 23% PCIe / 15% steal" is how a run reads.
+
+pub mod chrome;
+pub mod critical;
+pub mod metrics;
+
+pub use chrome::{ChromeArgs, ChromeEvent, ChromeTrace};
+pub use critical::{CriticalPath, CriticalSegment};
+pub use metrics::{LatencyHistogram, MetricsRegistry};

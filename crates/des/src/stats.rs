@@ -60,6 +60,14 @@ impl TimeWeighted {
         }
     }
 
+    /// Like [`TimeWeighted::update`], but tolerates out-of-order timestamps
+    /// by clamping `now` to the last update time. Used by the metrics layer,
+    /// where overlapping leaf submissions can observe a gauge slightly in the
+    /// past relative to its latest update.
+    pub fn update_clamped(&mut self, now: SimTime, value: f64) {
+        self.update(now.max(self.last_time), value);
+    }
+
     /// Current value.
     pub fn value(&self) -> f64 {
         self.last_value

@@ -5,6 +5,12 @@
 //! transfer tasks and wide bars for kernel executions. This module records
 //! exactly that: spans `(lane, kind, label, start, end)` plus CSV and ASCII
 //! renderers used by the `gantt` bench harness.
+//!
+//! Spans additionally carry an id and an optional parent id, so the full
+//! causal lineage of a job (spawn → steal → node job → device job →
+//! h2d/kernel/d2h) forms a tree. The tree drives the Chrome trace-event
+//! export ([`crate::obs::chrome`]) and the critical-path analysis
+//! ([`crate::obs::critical`]).
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -13,6 +19,39 @@ use std::fmt::Write as _;
 /// Identifies a trace lane (a row of the Gantt chart).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LaneId(pub usize);
+
+/// Identifies a recorded span. Ids are dense indices into [`Trace::spans`]
+/// in recording order, so a parent id is always smaller than its children.
+///
+/// [`SpanId::NONE`] is the "no span" sentinel returned when recording is
+/// disabled; it lets callers thread lineage unconditionally without wrapping
+/// every handle in an `Option`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// Sentinel for "no span" (recording disabled, or a root span).
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    pub fn is_none(self) -> bool {
+        self == SpanId::NONE
+    }
+
+    /// `Some(self)` unless this is the sentinel.
+    pub fn some(self) -> Option<SpanId> {
+        if self.is_none() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+impl Default for SpanId {
+    fn default() -> Self {
+        SpanId::NONE
+    }
+}
 
 /// Classification of an activity span; selects the glyph used in the ASCII
 /// rendering and lets the zoomed-out chart (Fig. 17) filter to kernels only.
@@ -60,16 +99,53 @@ impl SpanKind {
             SpanKind::Other => "other",
         }
     }
+
+    /// Painting priority for the ASCII renderer: higher z-order paints on top
+    /// when spans overlap in a cell. Kernels are the paper's headline signal
+    /// (the wide bars of Fig. 16), so they must never be erased by the tiny
+    /// steal or transfer spans that share a window.
+    pub fn z_order(self) -> u8 {
+        match self {
+            SpanKind::Other => 0,
+            SpanKind::CpuTask => 1,
+            SpanKind::Network => 2,
+            SpanKind::Steal => 3,
+            SpanKind::CopyToDevice => 4,
+            SpanKind::CopyFromDevice => 5,
+            SpanKind::Kernel => 6,
+        }
+    }
 }
 
 /// One recorded activity.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Span {
+    pub id: SpanId,
+    /// Causal parent (the span whose activity led to this one), if any.
+    pub parent: Option<SpanId>,
     pub lane: LaneId,
     pub kind: SpanKind,
     pub label: String,
     pub start: SimTime,
     pub end: SimTime,
+}
+
+/// Quote a CSV field per RFC 4180: fields containing the separator, quotes,
+/// or line breaks are wrapped in double quotes with embedded quotes doubled.
+/// Plain fields pass through untouched, keeping the common output stable.
+fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
 }
 
 /// Recorder for activity spans. Disabled by default (recording costs memory
@@ -105,11 +181,16 @@ impl Trace {
         &self.lanes[lane.0]
     }
 
+    pub fn lane_names(&self) -> &[String] {
+        &self.lanes
+    }
+
     pub fn lane_count(&self) -> usize {
         self.lanes.len()
     }
 
-    /// Record a span if recording is enabled.
+    /// Record a root span (no causal parent) if recording is enabled.
+    /// Returns the new span's id, or [`SpanId::NONE`] when disabled.
     pub fn record(
         &mut self,
         lane: LaneId,
@@ -117,22 +198,56 @@ impl Trace {
         label: impl Into<String>,
         start: SimTime,
         end: SimTime,
-    ) {
+    ) -> SpanId {
+        self.record_child(lane, kind, label, start, end, SpanId::NONE)
+    }
+
+    /// Record a span with a causal parent. A `parent` of [`SpanId::NONE`]
+    /// records a root span, so lineage can be threaded unconditionally.
+    pub fn record_child(
+        &mut self,
+        lane: LaneId,
+        kind: SpanKind,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        parent: SpanId,
+    ) -> SpanId {
         if !self.enabled {
-            return;
+            return SpanId::NONE;
         }
         debug_assert!(end >= start, "span ends before it starts");
+        let id = SpanId(self.spans.len() as u32);
         self.spans.push(Span {
+            id,
+            parent: parent.some(),
             lane,
             kind,
             label: label.into(),
             start,
             end,
         });
+        id
+    }
+
+    /// Extend (or shrink) a recorded span's end time. Used when a span must
+    /// be recorded before its duration is known, e.g. a node-level leaf span
+    /// that parents the device activity planned inside it. No-op for
+    /// [`SpanId::NONE`].
+    pub fn set_end(&mut self, id: SpanId, end: SimTime) {
+        if let Some(s) = id.some().and_then(|i| self.spans.get_mut(i.0 as usize)) {
+            debug_assert!(end >= s.start, "span ends before it starts");
+            s.end = end;
+        }
     }
 
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// Look up a span by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        id.some().and_then(|i| self.spans.get(i.0 as usize))
     }
 
     /// Latest end time over all spans (the chart's right edge).
@@ -153,19 +268,46 @@ impl Trace {
             .sum()
     }
 
-    /// Render the trace as CSV (`lane,kind,label,start_ns,end_ns`).
+    /// Check the span tree is well formed: ids are dense and in recording
+    /// order, every parent id refers to an earlier span, and no child starts
+    /// before its causal parent (children are ordered after their parents in
+    /// time, not contained — a stolen job runs long after the divide that
+    /// spawned it ended). Returns the first violation found.
+    pub fn check_tree(&self) -> Result<(), String> {
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.id.0 as usize != i {
+                return Err(format!("span at index {i} has id {}", s.id.0));
+            }
+            if s.end < s.start {
+                return Err(format!("span {i} ends before it starts"));
+            }
+            if let Some(p) = s.parent {
+                if p.0 as usize >= i {
+                    return Err(format!("span {i} has non-causal parent {}", p.0));
+                }
+                let parent = &self.spans[p.0 as usize];
+                if s.start < parent.start {
+                    return Err(format!(
+                        "span {i} starts at {} before its parent {} at {}",
+                        s.start, p.0, parent.start
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the trace as CSV (`lane,kind,label,start_ns,end_ns`). Fields
+    /// are quoted per RFC 4180 when they contain separators or quotes.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("lane,kind,label,start_ns,end_ns\n");
         for s in &self.spans {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{}",
-                self.lanes[s.lane.0],
-                s.kind.name(),
-                s.label,
-                s.start.as_nanos(),
-                s.end.as_nanos()
-            );
+            push_csv_field(&mut out, &self.lanes[s.lane.0]);
+            out.push(',');
+            out.push_str(s.kind.name());
+            out.push(',');
+            push_csv_field(&mut out, &s.label);
+            let _ = writeln!(out, ",{},{}", s.start.as_nanos(), s.end.as_nanos());
         }
         out
     }
@@ -200,25 +342,33 @@ pub struct Gantt {
 
 impl Gantt {
     /// Render an ASCII chart `width` characters wide. Lanes with no activity
-    /// in the window are omitted. Later spans overwrite earlier ones where
-    /// they overlap in the same cell.
+    /// in the window are omitted. Where spans overlap in a cell the one with
+    /// the higher [`SpanKind::z_order`] wins (kernels on top); ties keep
+    /// recording order.
     pub fn render_ascii(&self, width: usize) -> String {
         assert!(width >= 10, "gantt width too small");
         let total = self.hi.saturating_sub(self.lo).as_nanos().max(1);
+        // Paint in ascending z-order so high-priority kinds land last.
+        let mut order: Vec<usize> = (0..self.spans.len()).collect();
+        order.sort_by_key(|&k| (self.spans[k].kind.z_order(), k));
         let mut rows: Vec<(usize, Vec<char>)> = Vec::new();
         for (i, _) in self.lanes.iter().enumerate() {
             let mut row = vec![' '; width];
             let mut any = false;
-            for s in self.spans.iter().filter(|s| s.lane.0 == i) {
+            for s in order
+                .iter()
+                .map(|&k| &self.spans[k])
+                .filter(|s| s.lane.0 == i)
+            {
                 let a = s.start.max(self.lo) - self.lo;
                 let b = s.end.min(self.hi) - self.lo;
                 let mut c0 = (a.as_nanos() as u128 * width as u128 / total as u128) as usize;
-                let mut c1 = (b.as_nanos() as u128 * width as u128 / total as u128) as usize;
+                let c1 = (b.as_nanos() as u128 * width as u128 / total as u128) as usize;
+                // The end maps exclusively: a span ending exactly at `hi`
+                // yields `c1 == width`, which must fill through the last cell
+                // (index `width - 1`), never paint a cell `width`.
                 c0 = c0.min(width - 1);
-                c1 = c1.min(width);
-                if c1 <= c0 {
-                    c1 = c0 + 1;
-                }
+                let c1 = c1.clamp(c0 + 1, width);
                 for c in row.iter_mut().take(c1).skip(c0) {
                     *c = s.kind.glyph();
                 }
@@ -272,8 +422,10 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut tr = Trace::new();
         let lane = tr.add_lane("q0");
-        tr.record(lane, SpanKind::Kernel, "k", t(0), t(10));
+        let id = tr.record(lane, SpanKind::Kernel, "k", t(0), t(10));
         assert!(tr.spans().is_empty());
+        assert!(id.is_none());
+        assert!(tr.span(id).is_none());
     }
 
     #[test]
@@ -292,6 +444,41 @@ mod tests {
     }
 
     #[test]
+    fn span_ids_form_a_tree() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        let root = tr.record(a, SpanKind::CpuTask, "divide", t(0), t(10));
+        let child = tr.record_child(a, SpanKind::Steal, "steal", t(10), t(20), root);
+        let grand = tr.record_child(a, SpanKind::Kernel, "k", t(25), t(90), child);
+        assert_eq!(tr.span(root).unwrap().parent, None);
+        assert_eq!(tr.span(child).unwrap().parent, Some(root));
+        assert_eq!(tr.span(grand).unwrap().parent, Some(child));
+        tr.check_tree().unwrap();
+    }
+
+    #[test]
+    fn set_end_extends_a_recorded_span() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        let id = tr.record(a, SpanKind::CpuTask, "leaf", t(5), t(5));
+        tr.set_end(id, t(42));
+        assert_eq!(tr.span(id).unwrap().end, t(42));
+        // NONE is a silent no-op (disabled-trace path).
+        tr.set_end(SpanId::NONE, t(99));
+    }
+
+    #[test]
+    fn check_tree_rejects_forward_parents() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        tr.record_child(a, SpanKind::CpuTask, "bad", t(0), t(1), SpanId(7));
+        assert!(tr.check_tree().is_err());
+    }
+
+    #[test]
     fn csv_has_header_and_rows() {
         let mut tr = Trace::new();
         tr.set_enabled(true);
@@ -301,6 +488,38 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("lane,kind,label,start_ns,end_ns"));
         assert_eq!(lines.next(), Some("node0.q1,network,send,3,9"));
+    }
+
+    #[test]
+    fn csv_escapes_labels_per_rfc4180() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("node0.q1");
+        tr.record(a, SpanKind::Kernel, "k,means \"v2\"", t(1), t(2));
+        let csv = tr.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row, "node0.q1,kernel,\"k,means \"\"v2\"\"\",1,2");
+        // A quoted-field-aware split still yields five fields.
+        let mut fields = 1;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields, 5);
+    }
+
+    #[test]
+    fn csv_escapes_newlines_in_lane_names() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("bad\nlane");
+        tr.record(a, SpanKind::Other, "x", t(0), t(1));
+        let csv = tr.to_csv();
+        assert!(csv.contains("\"bad\nlane\",other,x,0,1"));
     }
 
     #[test]
@@ -352,5 +571,34 @@ mod tests {
         tr.record(a, SpanKind::Kernel, "k", t(0), t(1_000_000));
         let s = tr.gantt(None, None).render_ascii(50);
         assert!(s.contains('*') || s.contains('#'));
+    }
+
+    #[test]
+    fn kernel_paints_over_tiny_steal_regardless_of_order() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        // The steal is recorded *after* the kernel but must not punch a hole
+        // through the kernel bar: Kernel has the highest z-order.
+        tr.record(a, SpanKind::Kernel, "k", t(0), t(1000));
+        tr.record(a, SpanKind::Steal, "s", t(400), t(401));
+        let s = tr.gantt(None, None).render_ascii(20);
+        let row = s.lines().nth(1).unwrap();
+        assert!(!row.contains('*'), "steal erased part of the kernel: {row}");
+        assert_eq!(row.matches('#').count(), 20);
+    }
+
+    #[test]
+    fn span_ending_exactly_at_window_edge_fills_last_cell() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("a");
+        tr.record(a, SpanKind::Kernel, "k", t(0), t(100));
+        // Window upper edge coincides with the span end: the bar must reach
+        // the final cell (and not attempt to paint one past it).
+        let s = tr.gantt(Some((t(0), t(100))), None).render_ascii(10);
+        let row = s.lines().nth(1).unwrap();
+        let bar: String = row.chars().skip_while(|&c| c != '|').collect();
+        assert_eq!(bar, "|##########|");
     }
 }

@@ -29,6 +29,13 @@ pub struct Transfer {
     pub arrival: SimTime,
 }
 
+impl Transfer {
+    /// End-to-end latency: first byte on the wire to last byte received.
+    pub fn duration(&self) -> SimTime {
+        self.arrival - self.start
+    }
+}
+
 /// Schedule a transfer of `bytes` from `src` to `dst`, requested at `now`,
 /// with the given per-endpoint CPU busy fractions. Updates both NICs.
 ///

@@ -21,7 +21,7 @@ pub mod sim;
 pub mod threads;
 
 pub use sim::{
-    ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, LeafCtx, LeafPlan, LeafRuntime, RunReport,
-    SimConfig,
+    critical_path_summary, text_table, ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, LeafCtx,
+    LeafPlan, LeafRuntime, RunReport, SimConfig,
 };
 pub use threads::{join, parallel_reduce, SatinPool};

@@ -14,7 +14,8 @@
 
 use crate::sim::report::RunReport;
 use cashmere_des::fault::FaultInjector;
-use cashmere_des::trace::{LaneId, Trace};
+use cashmere_des::obs::MetricsRegistry;
+use cashmere_des::trace::{LaneId, SpanId, Trace};
 use cashmere_des::SimTime;
 
 /// Outcome of inspecting a job: divide further or run a leaf.
@@ -83,8 +84,13 @@ pub struct LeafCtx<'a> {
     /// Virtual time at which planning starts.
     pub now: SimTime,
     pub trace: &'a mut Trace,
+    /// Metrics registry (latency histograms, device queue gauges).
+    pub metrics: &'a mut MetricsRegistry,
     /// The node's CPU trace lane.
     pub cpu_lane: LaneId,
+    /// The node-level leaf span; device spans recorded by the runtime
+    /// should parent to it ([`SpanId::NONE`] when tracing is off).
+    pub parent_span: SpanId,
     /// Injected-fault decisions (deterministic; inactive when the plan is
     /// empty).
     pub faults: &'a mut FaultInjector,
@@ -170,6 +176,7 @@ mod tests {
             (SimTime::from_micros(hi - lo), (lo..hi).sum::<u64>())
         });
         let mut trace = Trace::new();
+        let mut metrics = MetricsRegistry::new();
         let lane = trace.add_lane("cpu");
         let mut faults = FaultInjector::disabled(0);
         let mut report = RunReport::new(1);
@@ -182,7 +189,9 @@ mod tests {
                 node: 0,
                 now: SimTime::ZERO,
                 trace: &mut trace,
+                metrics: &mut metrics,
                 cpu_lane: lane,
+                parent_span: SpanId::NONE,
                 faults: &mut faults,
                 report: &mut report,
             },

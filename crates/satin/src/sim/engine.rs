@@ -16,7 +16,7 @@ use crate::sim::app::{ClusterApp, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 use crate::sim::report::RunReport;
 use cashmere_des::fault::{FaultInjector, FaultPlan, MessageFate};
 use cashmere_des::rng::StreamRng;
-use cashmere_des::trace::{LaneId, SpanKind};
+use cashmere_des::trace::{LaneId, SpanId, SpanKind};
 use cashmere_des::{Sim, SimTime};
 use cashmere_netsim::nic::{schedule_transfer, NodeNic};
 use cashmere_netsim::NetConfig;
@@ -101,6 +101,12 @@ struct JobRec<A: ClusterApp> {
     /// everything divided under them. Their leaf compute is accounted as
     /// recovery cost.
     replay: bool,
+    /// Span that caused this job to run where it runs: the parent's divide
+    /// span at creation, replaced by the steal span when the job is stolen.
+    /// Lineage only — `SpanId::NONE` whenever tracing is off.
+    origin_span: SpanId,
+    /// This job's own divide span; parents its children and its combine.
+    divide_span: SpanId,
 }
 
 enum Task {
@@ -127,6 +133,8 @@ struct NodeState {
     tick_scheduled: bool,
     cpu_lane: LaneId,
     net_lane: LaneId,
+    /// When the outstanding steal attempt was initiated (steal RTT metric).
+    steal_started: SimTime,
 }
 
 /// The simulation world: nodes, jobs, application, leaf runtime.
@@ -168,6 +176,8 @@ impl<A: ClusterApp, L: LeafRuntime<A>> World<A, L> {
             child_outputs: Vec::new(),
             generation: 0,
             replay: false,
+            origin_span: SpanId::NONE,
+            divide_span: SpanId::NONE,
         });
         self.report.jobs_created += 1;
         id
@@ -193,6 +203,7 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
         }
         let mut sim = Sim::new(cfg.seed);
         sim.trace.set_enabled(cfg.trace);
+        sim.metrics.set_enabled(cfg.trace);
         let nodes = (0..cfg.nodes)
             .map(|n| NodeState {
                 deque: VecDeque::new(),
@@ -207,6 +218,7 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
                 tick_scheduled: false,
                 cpu_lane: sim.trace.add_lane(format!("node{n}.cpu")),
                 net_lane: sim.trace.add_lane(format!("node{n}.net")),
+                steal_started: SimTime::ZERO,
             })
             .collect();
         let world = World {
@@ -243,6 +255,10 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
 
     pub fn trace(&self) -> &cashmere_des::trace::Trace {
         &self.sim.trace
+    }
+
+    pub fn metrics(&self) -> &cashmere_des::MetricsRegistry {
+        &self.sim.metrics
     }
 
     /// Access the leaf runtime (e.g. to inspect Cashmere device state).
@@ -333,6 +349,7 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
                     tr.arrival,
                 );
             }
+            self.sim.metrics.observe("net.transfer", tr.duration());
             last = last.max(tr.arrival);
         }
         // Advance virtual time to the end of the broadcast.
@@ -340,6 +357,19 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
             self.sim.schedule_at(last, |_w, _s| {});
             self.sim.run(&mut self.world);
         }
+    }
+}
+
+/// Update the node's busy-core gauge after `busy_cores` changed. The
+/// `enabled` check keeps the label formatting off the hot path.
+fn note_busy_cores<A: ClusterApp, L: LeafRuntime<A>>(w: &World<A, L>, sim: &mut S<A, L>, n: usize) {
+    if sim.metrics.enabled() {
+        let now = sim.now();
+        sim.metrics.gauge_set(
+            &format!("node{n}.busy_cores"),
+            now,
+            w.nodes[n].busy_cores as f64,
+        );
     }
 }
 
@@ -420,6 +450,7 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
     w.jobs[j].state = JobState::Running;
     w.jobs[j].exec_node = n;
     w.nodes[n].busy_cores += 1;
+    note_busy_cores(w, sim, n);
     w.nodes[n].steal_failures = 0;
     // Leaves count against the concurrency cap from the moment they grab a
     // core, not when their plan runs (which is a job-overhead later).
@@ -459,12 +490,13 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
             let cost = w.app.divide_cost(&input);
             let start = sim.now() - w.cfg.job_overhead;
             if sim.trace.enabled() {
-                sim.trace.record(
+                w.jobs[j].divide_span = sim.trace.record_child(
                     w.nodes[n].cpu_lane,
                     SpanKind::CpuTask,
                     "divide",
                     start,
                     sim.now() + cost,
+                    w.jobs[j].origin_span,
                 );
             }
             sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
@@ -483,6 +515,18 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
             let lane = w.nodes[n].cpu_lane;
             let replay = w.jobs[j].replay;
             w.report.leaves += 1;
+            // The leaf span is recorded up front (with a provisional end) so
+            // the device activity planned inside it can parent to it; the
+            // real end is patched in below once the plan is known.
+            let leaf_start = sim.now() - w.cfg.job_overhead;
+            let leaf_span = sim.trace.record_child(
+                lane,
+                SpanKind::CpuTask,
+                "leaf",
+                leaf_start,
+                sim.now(),
+                w.jobs[j].origin_span,
+            );
             let plan = {
                 let World {
                     leaf,
@@ -498,7 +542,9 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                         node: n,
                         now: sim.now(),
                         trace: &mut sim.trace,
+                        metrics: &mut sim.metrics,
                         cpu_lane: lane,
+                        parent_span: leaf_span,
                         faults,
                         report,
                     },
@@ -514,16 +560,7 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
             }
             match plan {
                 LeafPlan::Cpu { compute, output } => {
-                    let start = sim.now() - w.cfg.job_overhead;
-                    if sim.trace.enabled() {
-                        sim.trace.record(
-                            w.nodes[n].cpu_lane,
-                            SpanKind::CpuTask,
-                            "leaf",
-                            start,
-                            sim.now() + compute,
-                        );
-                    }
+                    sim.trace.set_end(leaf_span, sim.now() + compute);
                     w.report.node_busy[n] += compute;
                     sim.schedule_in(compute, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                         if !w.nodes[n].alive {
@@ -542,6 +579,7 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                     done,
                     output,
                 } => {
+                    sim.trace.set_end(leaf_span, done.max(sim.now()));
                     w.report.node_busy[n] += done.saturating_sub(sim.now());
                     sim.schedule_in(submit, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                         if !w.nodes[n].alive {
@@ -582,11 +620,13 @@ fn finish_divide<A: ClusterApp, L: LeafRuntime<A>>(
     w.jobs[j].pending = count;
     w.jobs[j].child_outputs = vec![None; count];
     w.jobs[j].children.clear();
+    let divide_span = w.jobs[j].divide_span;
     for (idx, input) in children.into_iter().enumerate() {
         let c = w.new_job(input, Some((j, idx)), n);
         // A restarted subtree re-divides into fresh records; mark them so
         // their leaf compute is accounted as recovery cost.
         w.jobs[c].replay = replay;
+        w.jobs[c].origin_span = divide_span;
         w.jobs[j].children.push(c);
         w.nodes[n].deque.push_back(Task::Job(c));
     }
@@ -601,6 +641,7 @@ fn release_core<A: ClusterApp, L: LeafRuntime<A>>(
 ) {
     debug_assert!(w.nodes[n].busy_cores > 0);
     w.nodes[n].busy_cores -= 1;
+    note_busy_cores(w, sim, n);
     schedule_tick(w, sim, n);
 }
 
@@ -678,7 +719,7 @@ fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
     let tr = schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
     w.report.bytes_results += bytes;
     if sim.trace.enabled() {
-        sim.trace.record(
+        sim.trace.record_child(
             w.nodes[n].net_lane,
             SpanKind::Network,
             if attempt == 0 {
@@ -688,8 +729,10 @@ fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
             },
             tr.start,
             tr.arrival,
+            w.jobs[p].divide_span,
         );
     }
+    sim.metrics.observe("net.transfer", tr.duration());
     match w.faults.message_fate(n, home, sim.now()) {
         MessageFate::Dropped => {
             w.report.messages_lost += 1;
@@ -754,16 +797,18 @@ fn start_combine<A: ClusterApp, L: LeafRuntime<A>>(
         return; // stale
     }
     w.nodes[n].busy_cores += 1;
+    note_busy_cores(w, sim, n);
     let generation = w.jobs[p].generation;
     let input = w.jobs[p].input.clone().expect("waiting job has input");
     let cost = w.app.combine_cost(&input);
     if sim.trace.enabled() {
-        sim.trace.record(
+        sim.trace.record_child(
             w.nodes[n].cpu_lane,
             SpanKind::CpuTask,
             "combine",
             sim.now(),
             sim.now() + cost,
+            w.jobs[p].divide_span,
         );
     }
     sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
@@ -837,6 +882,7 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
     };
     w.nodes[thief].stealing = true;
     w.nodes[thief].steal_seq += 1;
+    w.nodes[thief].steal_started = sim.now();
     let token = w.nodes[thief].steal_seq;
     w.report.steal_attempts += 1;
     // Steal request: a small message, subject to CPU contention on both ends.
@@ -936,13 +982,18 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
             let tr = schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
             w.report.bytes_stolen += bytes;
             if sim.trace.enabled() {
-                sim.trace.record(
+                // The steal span becomes the job's new origin: everything
+                // the job does on the thief chains through it, which is what
+                // draws the cross-node flow arrow in the Chrome export.
+                let steal_span = sim.trace.record_child(
                     w.nodes[thief].net_lane,
                     SpanKind::Steal,
                     "steal",
                     tr.start,
                     tr.arrival,
+                    w.jobs[j].origin_span,
                 );
+                w.jobs[j].origin_span = steal_span;
             }
             let generation = w.jobs[j].generation;
             // The handshake succeeded; only the bulk transfer remains. The
@@ -990,6 +1041,8 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
                     let arrival = tr.arrival + delay;
                     sim.schedule_at(arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                         if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
+                            let rtt = sim.now() - w.nodes[thief].steal_started;
+                            sim.metrics.observe("steal.rtt", rtt);
                             resolve_steal(w, sim, thief);
                             w.nodes[thief].steal_failures = 0;
                         }
@@ -1084,6 +1137,7 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
     w.nodes[n].deque.clear();
     w.nodes[n].busy_cores = 0;
     w.nodes[n].running_leaves = 0;
+    note_busy_cores(w, sim, n);
     // Dead nodes fire no timers; drop their pending steal events so stale
     // no-op polls cannot advance the clock past the real finish.
     if let Some(h) = w.nodes[n].retry_event.take() {

@@ -6,7 +6,7 @@ pub mod report;
 
 pub use app::{ClusterApp, CpuLeafRuntime, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 pub use engine::{ClusterSim, SimConfig, World};
-pub use report::RunReport;
+pub use report::{critical_path_summary, text_table, RunReport};
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,58 @@
-//! Run statistics reported by the simulated cluster.
+//! Run statistics reported by the simulated cluster, plus the shared text
+//! renderers for the report printouts (failure accounting, critical path).
 
+use cashmere_des::obs::CriticalPath;
 use cashmere_des::SimTime;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Minimal aligned label/value table used by every textual report section
+/// (failure summary, critical-path summary): labels padded to a common
+/// width, one row per line, no trailing newline.
+pub fn text_table(rows: &[(String, String)]) -> String {
+    let w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (i, (label, value)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = write!(out, "{label:<w$}  {value}");
+    }
+    out
+}
+
+/// Render a critical-path analysis against the run's makespan: a per-kind
+/// breakdown plus the one-line attribution ("62% kernel / 23% ...") the
+/// paper-style result readout uses.
+pub fn critical_path_summary(cp: &CriticalPath, makespan: SimTime) -> String {
+    if cp.total == SimTime::ZERO {
+        return "critical path: no spans recorded".to_string();
+    }
+    let coverage = if makespan == SimTime::ZERO {
+        100.0
+    } else {
+        cp.total.as_nanos() as f64 / makespan.as_nanos() as f64 * 100.0
+    };
+    let mut rows = vec![(
+        "critical path".to_string(),
+        format!(
+            "{} over {} segments ({coverage:.1}% of makespan {makespan})",
+            cp.total,
+            cp.segments.len()
+        ),
+    )];
+    let attribution = cp.attribution();
+    for (kind, time, pct) in &attribution {
+        rows.push((format!("  {kind}"), format!("{time:>12} {pct:5.1}%")));
+    }
+    let one_liner = attribution
+        .iter()
+        .map(|(kind, _, pct)| format!("{pct:.0}% {kind}"))
+        .collect::<Vec<_>>()
+        .join(" / ");
+    rows.push(("  =".to_string(), one_liner));
+    text_table(&rows)
+}
 
 /// Counters collected over one or more root runs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,23 +136,36 @@ impl RunReport {
 
     /// Human-readable failure-accounting section (run-report printout).
     pub fn failure_summary(&self) -> String {
-        format!(
-            "failures: {} crashes, {} devices lost, {} jobs re-executed\n\
-             device path: {} launch retries, {} aborted jobs, {} CPU fallbacks\n\
-             network: {} messages lost, {} latency spikes, {} steal timeouts, {} retransmits\n\
-             recovery virtual-time cost: {}",
-            self.crashes,
-            self.devices_lost,
-            self.jobs_restarted,
-            self.launch_retries,
-            self.device_aborts,
-            self.fault_cpu_fallbacks,
-            self.messages_lost,
-            self.latency_spikes,
-            self.steal_timeouts,
-            self.result_retransmits,
-            self.recovery_time,
-        )
+        text_table(&[
+            (
+                "failures".to_string(),
+                format!(
+                    "{} crashes, {} devices lost, {} jobs re-executed",
+                    self.crashes, self.devices_lost, self.jobs_restarted
+                ),
+            ),
+            (
+                "device path".to_string(),
+                format!(
+                    "{} launch retries, {} aborted jobs, {} CPU fallbacks",
+                    self.launch_retries, self.device_aborts, self.fault_cpu_fallbacks
+                ),
+            ),
+            (
+                "network".to_string(),
+                format!(
+                    "{} messages lost, {} latency spikes, {} steal timeouts, {} retransmits",
+                    self.messages_lost,
+                    self.latency_spikes,
+                    self.steal_timeouts,
+                    self.result_retransmits
+                ),
+            ),
+            (
+                "recovery virtual-time cost".to_string(),
+                format!("{}", self.recovery_time),
+            ),
+        ])
     }
 
     /// Steal success rate.
@@ -147,5 +211,53 @@ mod tests {
         let s = r.failure_summary();
         assert!(s.contains("1 devices lost"), "{s}");
         assert!(s.contains("2 launch retries"), "{s}");
+    }
+
+    #[test]
+    fn text_table_aligns_labels() {
+        let s = text_table(&[
+            ("a".to_string(), "1".to_string()),
+            ("long label".to_string(), "2".to_string()),
+        ]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let col = lines[0].find('1').unwrap();
+        assert_eq!(lines[1].find('2').unwrap(), col, "{s}");
+        assert!(!s.ends_with('\n'));
+    }
+
+    #[test]
+    fn critical_path_summary_reads_like_the_paper() {
+        use cashmere_des::trace::{SpanKind, Trace};
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let l = tr.add_lane("l");
+        tr.record(
+            l,
+            SpanKind::Kernel,
+            "k",
+            SimTime::ZERO,
+            SimTime::from_micros(70),
+        );
+        tr.record(
+            l,
+            SpanKind::Network,
+            "n",
+            SimTime::from_micros(70),
+            SimTime::from_micros(100),
+        );
+        let cp = CriticalPath::compute(&tr);
+        let s = critical_path_summary(&cp, SimTime::from_micros(100));
+        assert!(s.contains("critical path"), "{s}");
+        assert!(s.contains("kernel"), "{s}");
+        assert!(s.contains("70% kernel / 30% network"), "{s}");
+        assert!(s.contains("100.0% of makespan"), "{s}");
+    }
+
+    #[test]
+    fn empty_critical_path_summary() {
+        let cp = CriticalPath::default();
+        let s = critical_path_summary(&cp, SimTime::ZERO);
+        assert!(s.contains("no spans"), "{s}");
     }
 }

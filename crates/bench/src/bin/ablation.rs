@@ -12,8 +12,12 @@
 //!
 //! ```text
 //! cargo run --release -p cashmere-bench --bin ablation
+//! cargo run --release -p cashmere-bench --bin ablation -- --jobs 4
 //! cargo run --release -p cashmere-bench --bin ablation -- --trace out.json --explain
 //! ```
+//!
+//! With `--jobs N` the twelve ablation runs fan out over N worker threads
+//! and are reported in declared order — byte-identical to `--jobs 1`.
 //!
 //! With `--trace out.json` every measured variant writes a Chrome trace +
 //! balancer audit log (`out.<study>.<variant>.json`); `--explain` prints
@@ -26,7 +30,8 @@ use cashmere_apps::kmeans::{run_iterations, KmeansApp, KmeansProblem};
 use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
 use cashmere_apps::KernelSet;
 use cashmere_bench::{
-    obs_args, paper_sim_config, report_run, write_json, ObsArgs, ObsCapture, Series, Table,
+    jobs_from_args, obs_args, paper_sim_config, report_run, sweep_fns, write_json, ObsCapture,
+    Series, Table,
 };
 use cashmere_netsim::NetConfig;
 use serde::Serialize;
@@ -39,34 +44,27 @@ struct AblationRow {
     relative: f64,
 }
 
-/// Emit the observability exports of a finished ablation run under
-/// `label`; `label: None` marks baseline re-runs that stay unobserved.
-fn observe<A: cashmere::CashmereApp>(
+/// Clone the observability exports out of a finished cluster.
+fn capture_of<A: cashmere::CashmereApp>(
     cluster: &cashmere_satin::ClusterSim<A, cashmere::CashmereLeafRuntime>,
-    obs: &ObsArgs,
-    label: Option<&str>,
-) {
-    let Some(label) = label else { return };
-    if !obs.enabled() {
-        return;
-    }
-    let cap = ObsCapture {
+) -> ObsCapture {
+    ObsCapture {
         trace: cluster.trace().clone(),
         metrics: cluster.metrics().clone(),
         audit: cluster.leaf_runtime().audit.clone(),
         horizon: cluster.trace().horizon(),
-    };
-    report_run(obs, label, &cap);
+    }
 }
 
+/// One k-means ablation run; `observe` turns on trace recording and returns
+/// the capture (baseline re-runs pass `false` and stay unobserved).
 fn kmeans_on(
     spec: &ClusterSpec,
     policy: Policy,
     slots: usize,
     n: u64,
-    obs: &ObsArgs,
-    label: Option<&str>,
-) -> f64 {
+    observe: bool,
+) -> (f64, Option<ObsCapture>) {
     let pr = KmeansProblem {
         n,
         k: 4096,
@@ -77,7 +75,7 @@ fn kmeans_on(
     let cents = app.centroids.clone();
     let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
     cfg.max_concurrent_leaves = slots;
-    cfg.trace = label.is_some() && obs.enabled();
+    cfg.trace = observe;
     let mut cluster = build_cluster(
         app,
         KmeansApp::registry(KernelSet::Optimized),
@@ -90,8 +88,8 @@ fn kmeans_on(
     )
     .unwrap();
     let (_, elapsed) = run_iterations(&mut cluster, &pr, &cents, false);
-    observe(&cluster, obs, label);
-    elapsed.as_secs_f64()
+    let cap = observe.then(|| capture_of(&cluster));
+    (elapsed.as_secs_f64(), cap)
 }
 
 fn k20_phi_node() -> ClusterSpec {
@@ -100,13 +98,13 @@ fn k20_phi_node() -> ClusterSpec {
     }
 }
 
-fn matmul_run(net: NetConfig, overlap: bool, obs: &ObsArgs, label: Option<&str>) -> f64 {
+fn matmul_run(net: NetConfig, overlap: bool, observe: bool) -> (f64, Option<ObsCapture>) {
     let pr = MatmulProblem::square(16384);
     let app = MatmulApp::phantom(pr, 128, 8);
     let root = app.row_job(0, pr.n);
     let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
     cfg.net = net;
-    cfg.trace = label.is_some() && obs.enabled();
+    cfg.trace = observe;
     let mut cluster = build_cluster(
         app,
         MatmulApp::registry(KernelSet::Optimized),
@@ -122,27 +120,117 @@ fn matmul_run(net: NetConfig, overlap: bool, obs: &ObsArgs, label: Option<&str>)
     cluster.broadcast(pr.p * pr.m * 4);
     let bcast = (cluster.now() - start).as_secs_f64();
     let _ = cluster.run_root(root);
-    observe(&cluster, obs, label);
-    bcast + cluster.report().makespan.as_secs_f64()
+    let cap = observe.then(|| capture_of(&cluster));
+    (bcast + cluster.report().makespan.as_secs_f64(), cap)
 }
 
 fn main() {
-    let (obs, _rest) = obs_args(std::env::args().collect());
+    let (obs, rest) = obs_args(std::env::args().collect());
+    let (jobs, _rest) = jobs_from_args(rest);
+    let observed = obs.enabled();
+
+    // Enumerate all twelve independent runs (each builds its own cluster and
+    // Sim), fan them out, then report in declared order. Baseline re-runs
+    // carry no label and are never observed.
+    type Run = (f64, Option<ObsCapture>);
+    type Task = Box<dyn FnOnce() -> Run + Send>;
+    let mut runs: Vec<(Option<String>, Task)> = Vec::new();
+
+    // Ablation 1: balancer baseline + three policies.
+    runs.push((
+        None,
+        Box::new(move || kmeans_on(&k20_phi_node(), Policy::Scenario, 2, 16_000_000, false)),
+    ));
+    let balancer_policies = [
+        ("scenario (paper III-B)", "scenario", Policy::Scenario),
+        ("round-robin", "round-robin", Policy::RoundRobin),
+        ("greedy-fastest", "greedy", Policy::FastestOnly),
+    ];
+    for (_, slug, policy) in balancer_policies {
+        runs.push((
+            Some(format!("balancer.{slug}")),
+            Box::new(move || kmeans_on(&k20_phi_node(), policy, 2, 16_000_000, observed)),
+        ));
+    }
+
+    // Ablation 2: overlap baseline + on/off.
+    runs.push((
+        None,
+        Box::new(move || matmul_run(NetConfig::qdr_infiniband(), true, false)),
+    ));
+    let overlap_variants = [("on (paper II-C3)", "on", true), ("off", "off", false)];
+    for (_, slug, overlap) in overlap_variants {
+        runs.push((
+            Some(format!("overlap.{slug}")),
+            Box::new(move || matmul_run(NetConfig::qdr_infiniband(), overlap, observed)),
+        ));
+    }
+
+    // Ablation 3: interconnects.
+    let network_variants = [
+        ("QDR InfiniBand", "qdr-ib", NetConfig::qdr_infiniband()),
+        ("gigabit Ethernet", "gbe", NetConfig::gigabit_ethernet()),
+    ];
+    for (_, slug, net) in network_variants {
+        runs.push((
+            Some(format!("network.{slug}")),
+            Box::new(move || matmul_run(net, true, observed)),
+        ));
+    }
+
+    // Ablation 4: leaf-slot baseline + 1/2/4 slots.
+    runs.push((
+        None,
+        Box::new(move || {
+            kmeans_on(
+                &ClusterSpec::paper_hetero_kmeans(),
+                Policy::Scenario,
+                2,
+                67_000_000,
+                false,
+            )
+        }),
+    ));
+    for slots in [1usize, 2, 4] {
+        runs.push((
+            Some(format!("leaf-slots.{slots}")),
+            Box::new(move || {
+                kmeans_on(
+                    &ClusterSpec::paper_hetero_kmeans(),
+                    Policy::Scenario,
+                    slots,
+                    67_000_000,
+                    observed,
+                )
+            }),
+        ));
+    }
+
+    let (labels, tasks): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
+    let results = sweep_fns(tasks, jobs);
+    // Emit per-run trace/audit files in declared order before the tables,
+    // matching the sequential layout.
+    let makespan = |i: usize| -> f64 {
+        let (m, cap) = &results[i];
+        if let (Some(label), Some(cap)) = (&labels[i], cap) {
+            report_run(&obs, label, cap);
+        }
+        *m
+    };
+
     let mut json = Vec::new();
+    let mut idx = 0;
 
     println!(
         "Ablation 1: device load balancer (k-means on one K20 + Xeon Phi node,\n\
          where the per-job device choice actually binds)\n"
     );
     let mut t = Table::new(&["policy", "makespan", "vs scenario"]);
-    let base = kmeans_on(&k20_phi_node(), Policy::Scenario, 2, 16_000_000, &obs, None);
-    for (name, slug, policy) in [
-        ("scenario (paper III-B)", "scenario", Policy::Scenario),
-        ("round-robin", "round-robin", Policy::RoundRobin),
-        ("greedy-fastest", "greedy", Policy::FastestOnly),
-    ] {
-        let label = format!("balancer.{slug}");
-        let m = kmeans_on(&k20_phi_node(), policy, 2, 16_000_000, &obs, Some(&label));
+    let base = makespan(idx);
+    idx += 1;
+    for (name, _, _) in balancer_policies {
+        let m = makespan(idx);
+        idx += 1;
         t.row(vec![
             name.to_string(),
             format!("{m:.2}s"),
@@ -159,10 +247,11 @@ fn main() {
 
     println!("Ablation 2: PCIe transfer/kernel overlap (matmul 16384³, 8 gtx480)\n");
     let mut t = Table::new(&["overlap", "makespan", "vs overlapped"]);
-    let on = matmul_run(NetConfig::qdr_infiniband(), true, &obs, None);
-    for (name, slug, overlap) in [("on (paper II-C3)", "on", true), ("off", "off", false)] {
-        let label = format!("overlap.{slug}");
-        let m = matmul_run(NetConfig::qdr_infiniband(), overlap, &obs, Some(&label));
+    let on = makespan(idx);
+    idx += 1;
+    for (name, _, _) in overlap_variants {
+        let m = makespan(idx);
+        idx += 1;
         t.row(vec![
             name.to_string(),
             format!("{m:.2}s"),
@@ -179,12 +268,9 @@ fn main() {
 
     println!("Ablation 3: interconnect (same matmul)\n");
     let mut t = Table::new(&["network", "makespan", "vs QDR IB"]);
-    for (name, slug, net) in [
-        ("QDR InfiniBand", "qdr-ib", NetConfig::qdr_infiniband()),
-        ("gigabit Ethernet", "gbe", NetConfig::gigabit_ethernet()),
-    ] {
-        let label = format!("network.{slug}");
-        let m = matmul_run(net, true, &obs, Some(&label));
+    for (name, _, _) in network_variants {
+        let m = makespan(idx);
+        idx += 1;
         t.row(vec![
             name.to_string(),
             format!("{m:.2}s"),
@@ -204,24 +290,11 @@ fn main() {
          nodes — light transfers, so pipelining trades against hoarding)\n"
     );
     let mut t = Table::new(&["management slots", "makespan", "vs 2 slots"]);
-    let slots_base = kmeans_on(
-        &ClusterSpec::paper_hetero_kmeans(),
-        Policy::Scenario,
-        2,
-        67_000_000,
-        &obs,
-        None,
-    );
+    let slots_base = makespan(idx);
+    idx += 1;
     for slots in [1usize, 2, 4] {
-        let label = format!("leaf-slots.{slots}");
-        let m = kmeans_on(
-            &ClusterSpec::paper_hetero_kmeans(),
-            Policy::Scenario,
-            slots,
-            67_000_000,
-            &obs,
-            Some(&label),
-        );
+        let m = makespan(idx);
+        idx += 1;
         t.row(vec![
             slots.to_string(),
             format!("{m:.2}s"),

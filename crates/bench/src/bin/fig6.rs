@@ -5,10 +5,15 @@
 //!
 //! ```text
 //! cargo run --release -p cashmere-bench --bin fig6
+//! cargo run --release -p cashmere-bench --bin fig6 -- --jobs 4
 //! ```
+//!
+//! With `--jobs N` the app × device kernel measurements run on N worker
+//! threads; output order is unchanged, so results are byte-identical to
+//! `--jobs 1`.
 
 use cashmere_apps::KernelSet;
-use cashmere_bench::{kernel_gflops, obs_args, write_json, AppId, Table};
+use cashmere_bench::{jobs_from_args, kernel_gflops, obs_args, sweep, write_json, AppId, Table};
 use cashmere_hwdesc::DeviceKind;
 use serde::Serialize;
 
@@ -22,7 +27,8 @@ struct Row {
 }
 
 fn main() {
-    let (obs, _rest) = obs_args(std::env::args().collect());
+    let (obs, rest) = obs_args(std::env::args().collect());
+    let (jobs, _rest) = jobs_from_args(rest);
     if obs.enabled() {
         // Fig. 6 measures isolated kernel executions — there is no cluster
         // run to trace. Accept the shared flags so sweep scripts can pass
@@ -30,12 +36,24 @@ fn main() {
         println!("note: fig6 runs kernels in isolation; --trace/--explain have no effect here\n");
     }
     println!("Fig. 6: kernel GFLOPS, unoptimized vs optimized\n");
+    // Each (app, device) point interprets both kernel sets independently.
+    let mut points = Vec::new();
+    for app in AppId::ALL {
+        for dev in DeviceKind::ALL {
+            points.push((app, dev));
+        }
+    }
+    let results = sweep(points, jobs, |(app, dev)| {
+        let un = kernel_gflops(app, KernelSet::Unoptimized, dev).unwrap_or(0.0);
+        let opt = kernel_gflops(app, KernelSet::Optimized, dev).unwrap_or(0.0);
+        (un, opt)
+    });
     let mut json = Vec::new();
+    let mut results = results.into_iter();
     for app in AppId::ALL {
         let mut t = Table::new(&["device", "unoptimized", "optimized", "speedup"]);
         for dev in DeviceKind::ALL {
-            let un = kernel_gflops(app, KernelSet::Unoptimized, dev).unwrap_or(0.0);
-            let opt = kernel_gflops(app, KernelSet::Optimized, dev).unwrap_or(0.0);
+            let (un, opt) = results.next().expect("one result per app x device");
             let speedup = if un > 0.0 { opt / un } else { 0.0 };
             t.row(vec![
                 dev.display_name().to_string(),

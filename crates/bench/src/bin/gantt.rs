@@ -22,7 +22,7 @@
 use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
 use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
 use cashmere_apps::KernelSet;
-use cashmere_bench::{obs_args, paper_sim_config, report_run, ObsCapture, Series};
+use cashmere_bench::{jobs_from_args, obs_args, paper_sim_config, report_run, ObsCapture, Series};
 use cashmere_des::trace::SpanKind;
 use cashmere_des::{ChromeTrace, SimTime};
 use std::fs;
@@ -30,6 +30,8 @@ use std::path::PathBuf;
 
 fn main() {
     let (obs, rest) = obs_args(std::env::args().collect());
+    // Accepted for uniformity with the sweep bins; gantt is a single run.
+    let (_jobs, rest) = jobs_from_args(rest);
     let small = rest.iter().any(|a| a == "--small");
 
     // A small heterogeneous cluster so the chart stays readable: the two

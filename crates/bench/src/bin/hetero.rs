@@ -8,8 +8,14 @@
 //!
 //! ```text
 //! cargo run --release -p cashmere-bench --bin hetero
+//! cargo run --release -p cashmere-bench --bin hetero -- --jobs 4
 //! cargo run --release -p cashmere-bench --bin hetero -- --faults plan.json
 //! ```
+//!
+//! With `--jobs N` the calibration, heterogeneous and homogeneous runs fan
+//! out over N worker threads; every run owns its `Sim` and seed, and output
+//! is assembled in declared order, so results are byte-identical to
+//! `--jobs 1`.
 //!
 //! With `--faults`, the JSON fault plan (node crashes, device failures,
 //! lossy links, transient launch faults) is injected into the measured
@@ -22,8 +28,8 @@
 
 use cashmere::ClusterSpec;
 use cashmere_bench::{
-    fault_plan_from_args, obs_args, report_run, run_app, run_app_observed, write_json, AppId,
-    Series, Table,
+    fault_plan_from_args, jobs_from_args, obs_args, report_run, run_app, run_app_observed, sweep,
+    write_json, AppId, ObsCapture, RunOutcome, Series, Table,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -55,10 +61,85 @@ fn config_for(app: AppId) -> (ClusterSpec, &'static str) {
     }
 }
 
+/// One independent simulation of the hetero experiment. The calibration
+/// runs (single-node, 16× and 1× GTX480) are fault-free and unobserved;
+/// only the measured heterogeneous run takes the plan and the trace flags.
+#[derive(Clone)]
+enum Job {
+    /// Single-node calibration for one distinct node composition.
+    Single(AppId, Vec<String>),
+    /// The measured heterogeneous run.
+    Hetero(AppId),
+    /// Homogeneous 16×GTX480 comparison run.
+    Homo16(AppId),
+    /// Homogeneous 1×GTX480 baseline run.
+    Homo1(AppId),
+}
+
 fn main() {
     let (faults, rest) = fault_plan_from_args();
-    let (obs, _rest) = obs_args(rest);
+    let (obs, rest) = obs_args(rest);
+    let (jobs, _rest) = jobs_from_args(rest);
     println!("Table III + Fig. 15: heterogeneous executions (optimized kernels)\n");
+
+    // Enumerate every run of the experiment up front, in declared order.
+    let mut points = Vec::new();
+    for app in AppId::ALL {
+        let (spec, _) = config_for(app);
+        let mut seen: Vec<&Vec<String>> = Vec::new();
+        for devs in &spec.node_devices {
+            if !seen.contains(&devs) {
+                seen.push(devs);
+                points.push(Job::Single(app, devs.clone()));
+            }
+        }
+        points.push(Job::Hetero(app));
+        points.push(Job::Homo16(app));
+        points.push(Job::Homo1(app));
+    }
+
+    type Out = (RunOutcome, Option<ObsCapture>);
+    let results: Vec<(Job, Out)> = sweep(points, jobs, |job| {
+        let out = match &job {
+            Job::Single(app, devs) => {
+                let one = ClusterSpec {
+                    node_devices: vec![devs.clone()],
+                };
+                (run_app(*app, Series::CashmereOpt, &one, 42), None)
+            }
+            Job::Hetero(app) => {
+                let (spec, _) = config_for(*app);
+                run_app_observed(
+                    *app,
+                    Series::CashmereOpt,
+                    &spec,
+                    42,
+                    faults.clone(),
+                    obs.enabled(),
+                )
+            }
+            Job::Homo16(app) => (
+                run_app(
+                    *app,
+                    Series::CashmereOpt,
+                    &ClusterSpec::homogeneous(16, "gtx480"),
+                    42,
+                ),
+                None,
+            ),
+            Job::Homo1(app) => (
+                run_app(
+                    *app,
+                    Series::CashmereOpt,
+                    &ClusterSpec::homogeneous(1, "gtx480"),
+                    42,
+                ),
+                None,
+            ),
+        };
+        (job, out)
+    });
+
     let mut json = Vec::new();
     let mut t3 = Table::new(&["application", "GFLOPS", "configuration"]);
     let mut f15 = Table::new(&[
@@ -67,31 +148,36 @@ fn main() {
         "homogeneous eff. (16 gtx480)",
     ]);
 
+    // Reassemble per app, consuming the results in declared order.
+    let mut single: HashMap<(AppId, Vec<String>), f64> = HashMap::new();
+    let mut hetero_runs: HashMap<AppId, Out> = HashMap::new();
+    let mut homo16_runs: HashMap<AppId, f64> = HashMap::new();
+    let mut homo1_runs: HashMap<AppId, f64> = HashMap::new();
+    for (job, (r, cap)) in results {
+        match job {
+            Job::Single(app, devs) => {
+                single.insert((app, devs), r.gflops);
+            }
+            Job::Hetero(app) => {
+                hetero_runs.insert(app, (r, cap));
+            }
+            Job::Homo16(app) => {
+                homo16_runs.insert(app, r.gflops);
+            }
+            Job::Homo1(app) => {
+                homo1_runs.insert(app, r.gflops);
+            }
+        }
+    }
+
     for app in AppId::ALL {
         let (spec, desc) = config_for(app);
-        // Single-node performance per distinct node composition (a node may
-        // carry two devices, e.g. K20 + Xeon Phi).
-        let mut single: HashMap<Vec<String>, f64> = HashMap::new();
-        for devs in &spec.node_devices {
-            if single.contains_key(devs) {
-                continue;
-            }
-            let one = ClusterSpec {
-                node_devices: vec![devs.clone()],
-            };
-            let r = run_app(app, Series::CashmereOpt, &one, 42);
-            single.insert(devs.clone(), r.gflops);
-        }
-        let attainable: f64 = spec.node_devices.iter().map(|d| single[d]).sum();
-
-        let (hetero, cap) = run_app_observed(
-            app,
-            Series::CashmereOpt,
-            &spec,
-            42,
-            faults.clone(),
-            obs.enabled(),
-        );
+        let attainable: f64 = spec
+            .node_devices
+            .iter()
+            .map(|d| single[&(app, d.clone())])
+            .sum();
+        let (hetero, cap) = &hetero_runs[&app];
         if let Some(f) = &hetero.failure_summary {
             println!("{} under injected faults:", app.name());
             for line in f.lines() {
@@ -99,25 +185,11 @@ fn main() {
             }
             println!();
         }
-        if let Some(cap) = &cap {
+        if let Some(cap) = cap {
             report_run(&obs, app.name(), cap);
         }
         let hetero_eff = hetero.gflops / attainable;
-
-        // Homogeneous comparison: 16 GTX480 nodes vs 16× one GTX480 node.
-        let homo16 = run_app(
-            app,
-            Series::CashmereOpt,
-            &ClusterSpec::homogeneous(16, "gtx480"),
-            42,
-        );
-        let homo1 = run_app(
-            app,
-            Series::CashmereOpt,
-            &ClusterSpec::homogeneous(1, "gtx480"),
-            42,
-        );
-        let homo_eff = homo16.gflops / (16.0 * homo1.gflops);
+        let homo_eff = homo16_runs[&app] / (16.0 * homo1_runs[&app]);
 
         t3.row(vec![
             app.name().to_string(),

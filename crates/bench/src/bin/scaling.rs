@@ -6,8 +6,13 @@
 //! ```text
 //! cargo run --release -p cashmere-bench --bin scaling              # all apps
 //! cargo run --release -p cashmere-bench --bin scaling -- matmul    # one app
+//! cargo run --release -p cashmere-bench --bin scaling -- --jobs 4
 //! cargo run --release -p cashmere-bench --bin scaling -- --faults plan.json
 //! ```
+//!
+//! With `--jobs N` the app × series × node-count points run on N worker
+//! threads; output is reassembled in declared order so it is byte-identical
+//! to `--jobs 1` (each point owns its `Sim` and seed).
 //!
 //! With `--faults`, the JSON fault plan is injected into every run it
 //! validates for (a plan crashing node 2 skips the 1- and 2-node runs) and
@@ -19,10 +24,9 @@
 
 use cashmere::ClusterSpec;
 use cashmere_bench::{
-    fault_plan_from_args, obs_args, report_run, run_app_observed, write_json, AppId, ObsArgs,
-    Series, Table,
+    fault_plan_from_args, jobs_from_args, obs_args, report_run, run_app_observed, sweep,
+    write_json, AppId, ObsArgs, ObsCapture, RunOutcome, Series, Table,
 };
-use cashmere_des::fault::FaultPlan;
 use serde::Serialize;
 
 const NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -47,47 +51,57 @@ fn figure_number(app: AppId) -> (&'static str, &'static str) {
     }
 }
 
-fn run_one(app: AppId, faults: &FaultPlan, obs: &ObsArgs, json: &mut Vec<Point>) {
+/// Render one app's table from its sweep results, consuming them in the
+/// declared (series × nodes) order so stdout matches the sequential run.
+fn report_one(
+    app: AppId,
+    obs: &ObsArgs,
+    results: &[(AppId, Series, usize, RunOutcome, Option<ObsCapture>)],
+    json: &mut Vec<Point>,
+) {
     let (fig_scal, fig_abs) = figure_number(app);
     println!(
         "{fig_scal} (scalability) / {fig_abs} (absolute performance): {} up to 16 GTX480 nodes\n",
         app.name()
     );
     let mut t = Table::new(&["series", "nodes", "makespan", "speedup", "GFLOPS", "steals"]);
-    for series in Series::ALL {
-        let mut base: Option<f64> = None;
-        for nodes in NODE_COUNTS {
-            let spec = ClusterSpec::homogeneous(nodes, "gtx480");
-            let (r, cap) = run_app_observed(app, series, &spec, 42, faults.clone(), obs.enabled());
-            if let Some(f) = &r.failure_summary {
-                for line in f.lines() {
-                    println!("    [{} n={nodes}] {line}", series.name());
-                }
+    let mut base: Option<(Series, f64)> = None;
+    for (_, series, nodes, r, cap) in results {
+        if let Some(f) = &r.failure_summary {
+            for line in f.lines() {
+                println!("    [{} n={nodes}] {line}", series.name());
             }
-            if let Some(cap) = &cap {
-                let label = format!("{}.{}.{}n", app.name(), series.name(), nodes);
-                report_run(obs, &label, cap);
-            }
-            let b = *base.get_or_insert(r.makespan_s);
-            let speedup = b / r.makespan_s;
-            t.row(vec![
-                series.name().to_string(),
-                nodes.to_string(),
-                format!("{:.2}s", r.makespan_s),
-                format!("{speedup:.2}"),
-                format!("{:.0}", r.gflops),
-                r.steals_ok.to_string(),
-            ]);
-            json.push(Point {
-                app: app.name().to_string(),
-                series: series.name().to_string(),
-                nodes,
-                makespan_s: r.makespan_s,
-                speedup,
-                gflops: r.gflops,
-                steals_ok: r.steals_ok,
-            });
         }
+        if let Some(cap) = cap {
+            let label = format!("{}.{}.{}n", app.name(), series.name(), nodes);
+            report_run(obs, &label, cap);
+        }
+        // Speedup baseline is the first (1-node) run of each series.
+        let b = match base {
+            Some((s, b)) if s == *series => b,
+            _ => {
+                base = Some((*series, r.makespan_s));
+                r.makespan_s
+            }
+        };
+        let speedup = b / r.makespan_s;
+        t.row(vec![
+            series.name().to_string(),
+            nodes.to_string(),
+            format!("{:.2}s", r.makespan_s),
+            format!("{speedup:.2}"),
+            format!("{:.0}", r.gflops),
+            r.steals_ok.to_string(),
+        ]);
+        json.push(Point {
+            app: app.name().to_string(),
+            series: series.name().to_string(),
+            nodes: *nodes,
+            makespan_s: r.makespan_s,
+            speedup,
+            gflops: r.gflops,
+            steals_ok: r.steals_ok,
+        });
     }
     println!("{}", t.render());
 }
@@ -95,6 +109,7 @@ fn run_one(app: AppId, faults: &FaultPlan, obs: &ObsArgs, json: &mut Vec<Point>)
 fn main() {
     let (faults, rest) = fault_plan_from_args();
     let (obs, rest) = obs_args(rest);
+    let (jobs, rest) = jobs_from_args(rest);
     let arg = rest.get(1).cloned();
     let apps: Vec<AppId> = match arg.as_deref() {
         None => AppId::ALL.to_vec(),
@@ -106,9 +121,30 @@ fn main() {
             }
         },
     };
-    let mut json = Vec::new();
+    // Every (app, series, nodes) point is an independent simulation; fan
+    // them all out and reassemble in declared order.
+    let mut points = Vec::new();
     for app in &apps {
-        run_one(*app, &faults, &obs, &mut json);
+        for series in Series::ALL {
+            for nodes in NODE_COUNTS {
+                points.push((*app, series, nodes));
+            }
+        }
+    }
+    let results = sweep(points, jobs, |(app, series, nodes)| {
+        let spec = ClusterSpec::homogeneous(nodes, "gtx480");
+        let (r, cap) = run_app_observed(app, series, &spec, 42, faults.clone(), obs.enabled());
+        (app, series, nodes, r, cap)
+    });
+    let mut json = Vec::new();
+    let per_app = Series::ALL.len() * NODE_COUNTS.len();
+    for (i, app) in apps.iter().enumerate() {
+        report_one(
+            *app,
+            &obs,
+            &results[i * per_app..(i + 1) * per_app],
+            &mut json,
+        );
     }
     // Single-app runs get their own file so they never clobber the full
     // four-app dataset.

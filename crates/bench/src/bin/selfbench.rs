@@ -1,0 +1,334 @@
+//! Self-benchmarking harness: measures the simulator's own hot paths and
+//! writes `BENCH_sim.json` at the repo root so the perf trajectory of the
+//! substrate is tracked alongside the code.
+//!
+//! ```text
+//! cargo run --release -p cashmere-bench --bin selfbench
+//! cargo run --release -p cashmere-bench --bin selfbench -- --quick
+//! cargo run --release -p cashmere-bench --bin selfbench -- --quick --check
+//! ```
+//!
+//! Measured quantities:
+//!
+//! - **engine events/sec** over a representative workload mix — bulk
+//!   schedule+run, steady-state event chains with realistic capture sizes,
+//!   and schedule+cancel churn (the work-stealing engine arms and disarms
+//!   timeouts constantly);
+//! - **schedule/cancel ops/sec** in isolation;
+//! - **sweep wall time** of an in-process scaling sweep (k-means, three
+//!   series, 1–16 nodes) at `--jobs 1` vs all cores;
+//! - **per-bin wall proxies** for the `scaling` and `fig6` workloads.
+//!
+//! With `--check`, the previously committed `BENCH_sim.json` is read
+//! *before* being overwritten and the run fails (exit 1) if engine
+//! events/sec regressed more than 30% against it — the CI smoke gate.
+//! `--quick` shrinks repetition counts for CI.
+
+use cashmere::ClusterSpec;
+use cashmere_apps::KernelSet;
+use cashmere_bench::{default_jobs, kernel_gflops, run_app, sweep, AppId, Series};
+use cashmere_des::{Sim, SimTime};
+use cashmere_hwdesc::DeviceKind;
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize, Deserialize)]
+struct EngineNumbers {
+    /// Aggregate events/sec over the representative mix below — the
+    /// regression-gated headline number.
+    events_per_sec: f64,
+    schedule_run_events_per_sec: f64,
+    churn_events_per_sec: f64,
+    schedule_cancel_ops_per_sec: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SweepNumbers {
+    points: usize,
+    jobs: usize,
+    wall_s_jobs1: f64,
+    wall_s_jobs_n: f64,
+    speedup: f64,
+    host_cores: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BinNumbers {
+    scaling_kmeans_wall_s: f64,
+    fig6_kernels_wall_s: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SelfBench {
+    schema: u32,
+    quick: bool,
+    engine: EngineNumbers,
+    sweep: SweepNumbers,
+    bins: BinNumbers,
+    /// Free-form history lines (e.g. the measured before/after of the engine
+    /// rewrite that introduced this file). Carried forward verbatim from the
+    /// committed baseline on every rewrite so the record survives re-runs.
+    provenance: Vec<String>,
+}
+
+/// Bulk schedule + drain of `n` events; returns events fired.
+fn schedule_run(n: u64) -> u64 {
+    let mut sim: Sim<u64> = Sim::new(1);
+    for i in 0..n {
+        sim.schedule_at(SimTime::from_nanos(i % 977), move |w: &mut u64, _| {
+            *w = w.wrapping_add(i);
+        });
+    }
+    let mut world = 0u64;
+    sim.run(&mut world);
+    black_box(world);
+    sim.events_fired()
+}
+
+/// Steady-state chains: `chains` in flight, `total` events overall. The
+/// closure captures a node/job/generation payload like the work-stealing
+/// engine's events, so the per-event storage cost is representative.
+fn churn(chains: u64, total: u64) -> u64 {
+    fn link(
+        w: &mut (u64, u64),
+        sim: &mut Sim<(u64, u64)>,
+        node: usize,
+        job: usize,
+        generation: u64,
+    ) {
+        w.0 += 1;
+        if w.0 < w.1 {
+            let (n, j, g) = (node ^ 1, job + 1, generation);
+            sim.schedule_in(SimTime::from_nanos(997), move |w: &mut (u64, u64), sim| {
+                link(w, sim, n, j, g)
+            });
+        }
+    }
+    let mut sim: Sim<(u64, u64)> = Sim::new(1);
+    for i in 0..chains {
+        sim.schedule_at(SimTime::from_nanos(i), move |w: &mut (u64, u64), sim| {
+            link(w, sim, i as usize, 0, i)
+        });
+    }
+    let mut world = (0u64, total);
+    sim.run(&mut world);
+    sim.events_fired()
+}
+
+/// Schedule `n` events and cancel every one; returns ops (schedules +
+/// cancels).
+fn schedule_cancel(n: u64) -> u64 {
+    let mut sim: Sim<u64> = Sim::new(1);
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            sim.schedule_at(SimTime::from_nanos(1 + i % 977), move |w: &mut u64, _| {
+                *w = w.wrapping_add(i);
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(sim.cancel(h));
+    }
+    let mut world = 0u64;
+    sim.run(&mut world);
+    2 * n
+}
+
+/// Best-of-`reps` wall time for `f`, returning (best_seconds, payload).
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut units = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        units = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, units)
+}
+
+fn measure_engine(quick: bool) -> EngineNumbers {
+    let reps = if quick { 3 } else { 7 };
+    let n: u64 = if quick { 50_000 } else { 200_000 };
+    let (t_sr, ev_sr) = best_of(reps, || schedule_run(n));
+    let (t_ch, ev_ch) = best_of(reps, || churn(1_000, n));
+    let (t_sc, ops_sc) = best_of(reps, || schedule_cancel(n));
+    EngineNumbers {
+        // Headline: total events (cancel pairs count as one event's worth
+        // of queue work) over total best-case time across the mix.
+        events_per_sec: (ev_sr + ev_ch + ops_sc / 2) as f64 / (t_sr + t_ch + t_sc),
+        schedule_run_events_per_sec: ev_sr as f64 / t_sr,
+        churn_events_per_sec: ev_ch as f64 / t_ch,
+        schedule_cancel_ops_per_sec: ops_sc as f64 / t_sc,
+    }
+}
+
+fn scaling_points(quick: bool) -> Vec<(Series, usize)> {
+    let nodes: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let mut points = Vec::new();
+    for series in Series::ALL {
+        for &n in nodes {
+            points.push((series, n));
+        }
+    }
+    points
+}
+
+fn run_sweep(points: &[(Series, usize)], jobs: usize) -> f64 {
+    let t0 = Instant::now();
+    let out = sweep(points.to_vec(), jobs, |(series, nodes)| {
+        let spec = ClusterSpec::homogeneous(nodes, "gtx480");
+        run_app(AppId::Kmeans, series, &spec, 42).makespan_s
+    });
+    black_box(out);
+    t0.elapsed().as_secs_f64()
+}
+
+fn measure_sweep(quick: bool) -> SweepNumbers {
+    let points = scaling_points(quick);
+    let jobs = default_jobs();
+    // Warm-up run so neither measured pass pays first-touch costs.
+    run_sweep(&points, 1);
+    let wall1 = run_sweep(&points, 1);
+    let wall_n = run_sweep(&points, jobs);
+    SweepNumbers {
+        points: points.len(),
+        jobs,
+        wall_s_jobs1: wall1,
+        wall_s_jobs_n: wall_n,
+        speedup: wall1 / wall_n,
+        host_cores: default_jobs(),
+    }
+}
+
+fn measure_bins(quick: bool) -> BinNumbers {
+    let t0 = Instant::now();
+    let _ = run_app(
+        AppId::Kmeans,
+        Series::CashmereOpt,
+        &ClusterSpec::homogeneous(if quick { 4 } else { 16 }, "gtx480"),
+        42,
+    );
+    let scaling_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for app in AppId::ALL {
+        for dev in DeviceKind::ALL {
+            black_box(kernel_gflops(app, KernelSet::Optimized, dev).unwrap_or(0.0));
+        }
+    }
+    let fig6_wall = t0.elapsed().as_secs_f64();
+    BinNumbers {
+        scaling_kmeans_wall_s: scaling_wall,
+        fig6_kernels_wall_s: fig6_wall,
+    }
+}
+
+fn bench_path() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("BENCH_sim.json");
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let path = bench_path();
+
+    // Read the committed baseline *before* overwriting it.
+    let baseline: Option<SelfBench> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+
+    println!(
+        "selfbench: measuring engine throughput ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let engine = measure_engine(quick);
+    println!("  events/sec (mix):      {:>12.0}", engine.events_per_sec);
+    println!(
+        "  schedule+run:          {:>12.0} ev/s",
+        engine.schedule_run_events_per_sec
+    );
+    println!(
+        "  churn chains:          {:>12.0} ev/s",
+        engine.churn_events_per_sec
+    );
+    println!(
+        "  schedule+cancel:       {:>12.0} op/s",
+        engine.schedule_cancel_ops_per_sec
+    );
+
+    println!("selfbench: measuring parallel sweep (k-means scaling, in-process)");
+    let sweep_n = measure_sweep(quick);
+    println!(
+        "  {} points: jobs=1 {:.2}s, jobs={} {:.2}s ({:.2}x, {} host cores)",
+        sweep_n.points,
+        sweep_n.wall_s_jobs1,
+        sweep_n.jobs,
+        sweep_n.wall_s_jobs_n,
+        sweep_n.speedup,
+        sweep_n.host_cores
+    );
+
+    println!("selfbench: per-bin wall proxies");
+    let bins = measure_bins(quick);
+    println!(
+        "  scaling (k-means 16n): {:.3}s",
+        bins.scaling_kmeans_wall_s
+    );
+    println!("  fig6 kernel sweep:     {:.3}s", bins.fig6_kernels_wall_s);
+
+    let result = SelfBench {
+        schema: 1,
+        quick,
+        engine,
+        sweep: sweep_n,
+        bins,
+        provenance: baseline
+            .as_ref()
+            .map(|b| b.provenance.clone())
+            .unwrap_or_default(),
+    };
+    let json = serde_json::to_string_pretty(&result).expect("selfbench serializes");
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if check {
+        match baseline {
+            Some(base) => {
+                let old = base.engine.events_per_sec;
+                let new = result.engine.events_per_sec;
+                let ratio = new / old;
+                println!(
+                    "check: events/sec {:.0} vs committed baseline {:.0} ({:.2}x)",
+                    new, old, ratio
+                );
+                // >30% regression fails the build. Headroom below that is
+                // noise on shared CI runners.
+                if ratio < 0.70 {
+                    eprintln!("check FAILED: engine events/sec regressed more than 30%");
+                    std::process::exit(1);
+                }
+                println!("check OK");
+            }
+            None => {
+                // First run ever (or unreadable baseline): the freshly
+                // written file becomes the baseline; nothing to compare.
+                println!("check: no committed baseline, wrote initial BENCH_sim.json");
+            }
+        }
+    }
+}

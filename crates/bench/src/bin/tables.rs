@@ -125,6 +125,9 @@ fn fig2() {
 
 fn main() {
     let (obs, rest) = cashmere_bench::obs_args(std::env::args().collect());
+    // Accepted for uniformity with the sweep bins; there is only one
+    // "point" here, so the flag has nothing to parallelize.
+    let (_jobs, rest) = cashmere_bench::jobs_from_args(rest);
     if obs.enabled() {
         // The tables are static reproductions (TOP500 background, app
         // classes, hierarchy) — no simulation runs, nothing to trace.

@@ -16,6 +16,7 @@
 pub mod obs;
 pub mod output;
 pub mod runners;
+pub mod sweep;
 
 pub use obs::{labeled_path, obs_args, report_run, ObsArgs, ObsCapture};
 pub use output::{write_json, Table};
@@ -23,3 +24,4 @@ pub use runners::{
     fault_plan_from_args, kernel_gflops, load_fault_plan, paper_sim_config, run_app,
     run_app_observed, run_app_with_faults, AppId, RunOutcome, Series,
 };
+pub use sweep::{default_jobs, jobs_from_args, sweep, sweep_fns};

@@ -9,9 +9,12 @@
 //! Design:
 //!
 //! * Virtual time is [`SimTime`], a `u64` count of nanoseconds.
-//! * The engine [`Sim<W>`] owns an event queue; events are boxed `FnOnce`
-//!   closures receiving the user *world* (`&mut W`) and the engine itself so
-//!   they can schedule follow-up events.
+//! * The engine [`Sim<W>`] owns the event queue: a slab arena of reusable
+//!   event slots (closures up to 48 bytes stored inline, no per-event
+//!   allocation in steady state) ordered by an index-based 4-ary min-heap,
+//!   with O(1) tombstone cancellation. Events are `FnOnce` closures
+//!   receiving the user *world* (`&mut W`) and the engine itself so they
+//!   can schedule follow-up events.
 //! * Ties are broken by insertion sequence number, which (together with seeded
 //!   RNG streams from [`rng`]) makes runs deterministic.
 //! * [`trace`] records activity spans per lane and renders the Gantt charts of

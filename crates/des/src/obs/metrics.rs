@@ -135,20 +135,24 @@ impl MetricsRegistry {
     }
 
     /// Turn recording on or off (mirrors [`crate::Trace::set_enabled`]).
+    #[inline]
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
     }
 
+    #[inline]
     pub fn enabled(&self) -> bool {
         self.enabled
     }
 
     /// Increment a counter by one.
+    #[inline]
     pub fn inc(&mut self, name: &str) {
         self.add(name, 1);
     }
 
     /// Increment a counter by `delta`.
+    #[inline]
     pub fn add(&mut self, name: &str, delta: u64) {
         if !self.enabled {
             return;
@@ -164,6 +168,7 @@ impl MetricsRegistry {
     /// Set a time-weighted gauge to `value` at simulated time `now`.
     /// Out-of-order timestamps (overlapping leaves submit into the future)
     /// are clamped to the gauge's last update time.
+    #[inline]
     pub fn gauge_set(&mut self, name: &str, now: SimTime, value: f64) {
         if !self.enabled {
             return;
@@ -178,6 +183,7 @@ impl MetricsRegistry {
     }
 
     /// Record a latency observation into a histogram.
+    #[inline]
     pub fn observe(&mut self, name: &str, value: SimTime) {
         if !self.enabled {
             return;

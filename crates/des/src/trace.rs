@@ -163,10 +163,12 @@ impl Trace {
     }
 
     /// Turn recording on or off. Lane registration works either way.
+    #[inline]
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
     }
 
+    #[inline]
     pub fn enabled(&self) -> bool {
         self.enabled
     }
@@ -191,6 +193,7 @@ impl Trace {
 
     /// Record a root span (no causal parent) if recording is enabled.
     /// Returns the new span's id, or [`SpanId::NONE`] when disabled.
+    #[inline]
     pub fn record(
         &mut self,
         lane: LaneId,
@@ -204,6 +207,7 @@ impl Trace {
 
     /// Record a span with a causal parent. A `parent` of [`SpanId::NONE`]
     /// records a root span, so lineage can be threaded unconditionally.
+    #[inline]
     pub fn record_child(
         &mut self,
         lane: LaneId,
@@ -234,6 +238,7 @@ impl Trace {
     /// be recorded before its duration is known, e.g. a node-level leaf span
     /// that parents the device activity planned inside it. No-op for
     /// [`SpanId::NONE`].
+    #[inline]
     pub fn set_end(&mut self, id: SpanId, end: SimTime) {
         if let Some(s) = id.some().and_then(|i| self.spans.get_mut(i.0 as usize)) {
             debug_assert!(end >= s.start, "span ends before it starts");

@@ -1,0 +1,194 @@
+//! What-if performance advisor: "optimize this next", answered by
+//! deterministic re-execution.
+//!
+//! The advisor runs the workload once (observed), enumerates perturbation
+//! candidates from the span trace and critical path, then re-executes the
+//! whole simulation once per candidate with exactly one factor virtually
+//! scaled — Coz-style virtual speedup on the DES — and ranks candidates by
+//! *measured* makespan delta. Alongside the ranking it prints per-resource
+//! utilization timelines and, for the speed-table experiments, an audit-log
+//! replay counting how many balancer placements would flip.
+//!
+//! ```text
+//! cargo run --release -p cashmere-bench --bin advisor
+//! cargo run --release -p cashmere-bench --bin advisor -- kmeans --nodes 8
+//! cargo run --release -p cashmere-bench --bin advisor -- kmeans --hetero
+//! cargo run --release -p cashmere-bench --bin advisor -- --what-if dev:*:2x --sweep 0.5,2
+//! cargo run --release -p cashmere-bench --bin advisor -- --what-if dev:k20:2x+net:2x
+//! cargo run --release -p cashmere-bench --bin advisor -- --jobs 4
+//! ```
+//!
+//! * `--what-if <spec>[,<spec>…]` — run these experiments instead of
+//!   auto-enumerating; `+` inside one spec applies factors jointly.
+//! * `--sweep f1,f2,…` — factor sweep (default `0.5,2`); with `--what-if`,
+//!   each experiment is re-run at every factor.
+//! * `--hetero` — the app's Table III heterogeneous configuration instead
+//!   of homogeneous GTX480 nodes; `--nodes N` sets the homogeneous size.
+//! * `--series`, `--seed`, `--jobs`, `--trace`, `--explain`,
+//!   `--metrics-out` — as in the other bench bins.
+//!
+//! Experiments fan out over `--jobs` worker threads; the report (text and
+//! `bench/out/advisor_*.json`) is byte-identical at any `--jobs`.
+
+use cashmere::ClusterSpec;
+use cashmere_bench::{
+    advise, jobs_from_args, obs_args, report_run, run_app_perturbed, write_json, AppId, PerturbSet,
+    Series,
+};
+use cashmere_des::fault::FaultPlan;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn hetero_spec(app: AppId) -> ClusterSpec {
+    match app {
+        AppId::Raytracer | AppId::Matmul => ClusterSpec::paper_hetero_small(),
+        AppId::Kmeans => ClusterSpec::paper_hetero_kmeans(),
+        AppId::Nbody => ClusterSpec::paper_hetero_nbody(),
+    }
+}
+
+fn main() {
+    let (obs, rest) = obs_args(std::env::args().collect());
+    let (jobs, rest) = jobs_from_args(rest);
+
+    let mut app = AppId::Kmeans;
+    let mut series = Series::CashmereOpt;
+    let mut nodes = 4usize;
+    let mut hetero = false;
+    let mut seed = 42u64;
+    let mut what_if: Vec<PerturbSet> = Vec::new();
+    let mut factors = vec![0.5, 2.0];
+    let mut swept = false;
+
+    let mut it = rest.into_iter().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--hetero" => hetero = true,
+            "--nodes" => {
+                nodes = value("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--nodes expects a positive integer"));
+                if nodes == 0 {
+                    fail("--nodes expects a positive integer");
+                }
+            }
+            "--series" => {
+                let v = value("--series");
+                series = Series::ALL
+                    .into_iter()
+                    .find(|s| s.name() == v)
+                    .unwrap_or_else(|| {
+                        fail(&format!(
+                            "unknown series `{v}` (satin|cashmere-unopt|cashmere-opt)"
+                        ))
+                    });
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"));
+            }
+            "--what-if" => {
+                for part in value("--what-if").split(',') {
+                    match PerturbSet::parse_list(part) {
+                        Ok(set) => what_if.push(set),
+                        Err(e) => fail(&e),
+                    }
+                }
+            }
+            "--sweep" => {
+                factors = value("--sweep")
+                    .split(',')
+                    .map(|f| match f.trim().parse::<f64>() {
+                        Ok(v) if v.is_finite() && v > 0.0 => v,
+                        _ => fail(&format!("bad sweep factor `{f}` (want e.g. 0.5,2)")),
+                    })
+                    .collect();
+                if factors.is_empty() {
+                    fail("--sweep expects at least one factor");
+                }
+                swept = true;
+            }
+            other => match AppId::parse(other) {
+                Some(a) => app = a,
+                None => fail(&format!(
+                    "unknown argument `{other}` (app name or --hetero|--nodes|--series|--seed|--what-if|--sweep|--jobs|--trace|--explain|--metrics-out)"
+                )),
+            },
+        }
+    }
+
+    // An explicit --sweep expands the explicit what-ifs too: each
+    // experiment re-runs at every factor.
+    if swept && !what_if.is_empty() {
+        what_if = what_if
+            .iter()
+            .flat_map(|set| {
+                factors.iter().map(|&f| PerturbSet {
+                    items: set.items.iter().map(|p| p.with_factor(f)).collect(),
+                })
+            })
+            .collect();
+    }
+
+    let (spec, cluster) = if hetero {
+        (hetero_spec(app), "hetero (Table III)".to_string())
+    } else {
+        (
+            ClusterSpec::homogeneous(nodes, "gtx480"),
+            format!("{nodes}x gtx480"),
+        )
+    };
+    let workload = format!("{} / {} / {}", app.name(), series.name(), cluster);
+    println!(
+        "advisor: {workload} — baseline + {} experiment(s), seed {seed}",
+        if what_if.is_empty() {
+            "auto-enumerated".to_string()
+        } else {
+            what_if.len().to_string()
+        }
+    );
+
+    let runner = |p: Option<&PerturbSet>, observe: bool| {
+        let (r, cap) =
+            run_app_perturbed(app, series, &spec, seed, FaultPlan::default(), observe, p);
+        // The baseline is the only observed run; honor the shared obs flags
+        // for it (Chrome trace with counter tracks, OpenMetrics dump, …).
+        if observe {
+            if let Some(cap) = &cap {
+                report_run(&obs, "baseline", cap);
+            }
+        }
+        (r.makespan_s, cap)
+    };
+    let run = advise(&workload, seed, &spec, &what_if, &factors, jobs, runner)
+        .unwrap_or_else(|e| fail(&e));
+    print!("{}", run.text);
+
+    let name = format!(
+        "advisor_{}_{}",
+        app.name().replace('-', ""),
+        if hetero {
+            "hetero".to_string()
+        } else {
+            format!("{nodes}n")
+        }
+    );
+    write_json(&name, &run.json);
+    let best = run.json.report.rows.first();
+    if let Some(b) = best {
+        println!(
+            "advice: `{}` gives the largest measured win ({:+.4}s, {:.3}x)",
+            b.spec,
+            b.delta_ns as f64 / 1e9,
+            b.speedup
+        );
+    }
+}

@@ -9,19 +9,22 @@
 //! | `scaling` | Figs. 7–14 — speedup + absolute GFLOPS, 1..16 GTX480 nodes, three series |
 //! | `hetero`  | Table III + Fig. 15 — heterogeneous GFLOPS and efficiency |
 //! | `gantt`   | Figs. 16/17 — Gantt charts of the heterogeneous K-means run |
+//! | `advisor` | What-if ranking: virtual-speedup re-executions, utilization, counterfactuals |
 //!
 //! All binaries print the series the paper plots and write JSON to
 //! `bench/out/`. Runs are deterministic (fixed seeds, virtual time).
 
+pub mod advisor;
 pub mod obs;
 pub mod output;
 pub mod runners;
 pub mod sweep;
 
+pub use advisor::{advise, AdvisorJson, AdvisorRun, CounterfactualSummary, PerturbSet};
 pub use obs::{labeled_path, obs_args, report_run, ObsArgs, ObsCapture};
 pub use output::{write_json, Table};
 pub use runners::{
     fault_plan_from_args, kernel_gflops, load_fault_plan, paper_sim_config, run_app,
-    run_app_observed, run_app_with_faults, AppId, RunOutcome, Series,
+    run_app_observed, run_app_perturbed, run_app_with_faults, AppId, RunOutcome, Series,
 };
 pub use sweep::{default_jobs, jobs_from_args, sweep, sweep_fns};

@@ -6,7 +6,9 @@
 //!   trace-event file (open in Perfetto or `chrome://tracing`) plus a
 //!   balancer audit log next to it (`<out>.audit.json`);
 //! * `--explain` — print the critical-path analysis, the metrics summary,
-//!   and a balancer-decision digest after the run.
+//!   and a balancer-decision digest after the run;
+//! * `--metrics-out <out.txt>` — dump the metrics registry in OpenMetrics
+//!   text exposition format for scrape-style tooling.
 //!
 //! Bins that execute several runs (scaling sweeps, ablations) derive one
 //! trace file per run by inserting the run label before the extension.
@@ -24,12 +26,14 @@ pub struct ObsArgs {
     pub trace_path: Option<String>,
     /// Print critical-path / metrics / audit summaries (`--explain`).
     pub explain: bool,
+    /// OpenMetrics text output path (`--metrics-out <path>`).
+    pub metrics_out: Option<String>,
 }
 
 impl ObsArgs {
     /// Does the run need tracing enabled at all?
     pub fn enabled(&self) -> bool {
-        self.trace_path.is_some() || self.explain
+        self.trace_path.is_some() || self.explain || self.metrics_out.is_some()
     }
 }
 
@@ -50,6 +54,13 @@ pub fn obs_args(args: Vec<String>) -> (ObsArgs, Vec<String>) {
                 obs.trace_path = Some(path);
             }
             "--explain" => obs.explain = true,
+            "--metrics-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--metrics-out requires an output path (e.g. --metrics-out m.txt)");
+                    std::process::exit(2);
+                };
+                obs.metrics_out = Some(path);
+            }
             _ => rest.push(a),
         }
     }
@@ -125,6 +136,13 @@ pub fn report_run(obs: &ObsArgs, label: &str, cap: &ObsCapture) {
             Err(e) => eprintln!("warning: cannot serialize audit log: {e}"),
         }
     }
+    if let Some(base) = &obs.metrics_out {
+        let path = labeled_path(base, label);
+        match std::fs::write(&path, cap.metrics.to_openmetrics(cap.horizon)) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
     if obs.explain {
         let header = if label.is_empty() {
             "--- explain ---".to_string()
@@ -163,9 +181,12 @@ mod tests {
             "t.json".to_string(),
             "--small".to_string(),
             "--explain".to_string(),
+            "--metrics-out".to_string(),
+            "m.txt".to_string(),
         ];
         let (obs, rest) = obs_args(argv);
         assert_eq!(obs.trace_path.as_deref(), Some("t.json"));
+        assert_eq!(obs.metrics_out.as_deref(), Some("m.txt"));
         assert!(obs.explain);
         assert!(obs.enabled());
         assert_eq!(rest, vec!["bin".to_string(), "--small".to_string()]);

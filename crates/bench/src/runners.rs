@@ -6,8 +6,9 @@
 //! job creation because it needs to create 8 times more jobs to keep one
 //! node busy" (Sec. V-B).
 
+use crate::advisor::PerturbSet;
 use crate::obs::ObsCapture;
-use cashmere::{build_cluster, AuditEntry, ClusterSpec, RuntimeConfig};
+use cashmere::{build_cluster, AuditEntry, CashmereLeafRuntime, ClusterSpec, RuntimeConfig};
 use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
 use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
 use cashmere_apps::nbody::{self, NbodyApp, NbodyProblem};
@@ -216,6 +217,37 @@ pub fn run_app_observed(
     faults: FaultPlan,
     observe: bool,
 ) -> (RunOutcome, Option<ObsCapture>) {
+    run_app_perturbed(app, series, spec, seed, faults, observe, None)
+}
+
+/// Apply the advisor's per-device perturbations to a freshly built Cashmere
+/// cluster, before the run starts.
+fn perturb_runtime<A: ClusterApp>(
+    cs: &mut ClusterSim<A, CashmereLeafRuntime>,
+    perturb: Option<&PerturbSet>,
+) where
+    CashmereLeafRuntime: LeafRuntime<A>,
+{
+    if let Some(p) = perturb {
+        p.apply_runtime(cs.leaf_runtime_mut());
+    }
+}
+
+/// [`run_app_observed`] under an advisor perturbation: the cluster-wide
+/// factors (network, steal pacing) are scaled into the engine config and
+/// the per-device ones (compute speed, PCIe, balancer table) into the
+/// Cashmere runtime before the run, so the whole deterministic simulation
+/// re-executes in the virtually scaled world. Satin runs only honor the
+/// cluster-wide targets (they have no devices).
+pub fn run_app_perturbed(
+    app: AppId,
+    series: Series,
+    spec: &ClusterSpec,
+    seed: u64,
+    faults: FaultPlan,
+    observe: bool,
+    perturb: Option<&PerturbSet>,
+) -> (RunOutcome, Option<ObsCapture>) {
     let mut cfg = paper_sim_config(series, seed);
     cfg.trace = observe;
     match faults.validate(spec.nodes()) {
@@ -229,6 +261,9 @@ pub fn run_app_observed(
                 );
             }
         }
+    }
+    if let Some(p) = perturb {
+        p.apply_sim_config(&mut cfg);
     }
     let cfg = cfg;
     let rt_cfg = RuntimeConfig::default();
@@ -269,6 +304,7 @@ pub fn run_app_observed(
                     let a = RaytracerApp::new(pr, AppMode::Phantom, grain, DEVICE_JOBS);
                     let reg = RaytracerApp::registry(kernel_set(series));
                     let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    perturb_runtime(&mut cs, perturb);
                     let _ = cs.run_root((0, pr.pixels()));
                     let (r, l) = (cs.report(), cs.leaf_runtime());
                     (
@@ -322,6 +358,7 @@ pub fn run_app_observed(
                     let root = a.row_job(0, pr.n);
                     let reg = MatmulApp::registry(kernel_set(series));
                     let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    perturb_runtime(&mut cs, perturb);
                     let start = cs.now();
                     cs.broadcast(pr.p * pr.m * 4);
                     let bcast = (cs.now() - start).as_secs_f64();
@@ -374,6 +411,7 @@ pub fn run_app_observed(
                     let cents = a.centroids.clone();
                     let reg = KmeansApp::registry(kernel_set(series));
                     let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    perturb_runtime(&mut cs, perturb);
                     let (_, elapsed) = kmeans::run_iterations(&mut cs, &pr, &cents, false);
                     let (r, l) = (cs.report(), cs.leaf_runtime());
                     (
@@ -421,6 +459,7 @@ pub fn run_app_observed(
                     let a = NbodyApp::phantom(pr, grain, DEVICE_JOBS);
                     let reg = NbodyApp::registry(kernel_set(series));
                     let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
+                    perturb_runtime(&mut cs, perturb);
                     let elapsed = nbody::run_iterations(&mut cs, &pr, |_| {});
                     let (r, l) = (cs.report(), cs.leaf_runtime());
                     (

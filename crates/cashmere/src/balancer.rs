@@ -115,6 +115,21 @@ impl Balancer {
         self.speeds.len()
     }
 
+    /// The static relative-speed table entry of `device`.
+    pub fn speed(&self, device: usize) -> f64 {
+        self.speeds[device]
+    }
+
+    /// Scale the static relative-speed table entry of `device` by `factor`
+    /// (advisor what-if: perturb the balancer's *belief* about a device
+    /// without touching the device itself). Affects first-phase placement
+    /// and the extrapolation ratio for unmeasured devices; measured kernel
+    /// times still win, exactly as a miscalibrated seed table would behave.
+    pub fn scale_speed(&mut self, device: usize, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bad table factor");
+        self.speeds[device] *= factor;
+    }
+
     pub fn queued(&self, device: usize) -> usize {
         self.queued[device]
     }
@@ -388,6 +403,32 @@ mod tests {
     #[should_panic(expected = "≥1 device")]
     fn empty_device_list_rejected() {
         let _ = Balancer::new(&[]);
+    }
+
+    #[test]
+    fn scaled_table_entry_shifts_first_phase_placement() {
+        // Unmeasured phase: doubling a device's table entry doubles its
+        // share of the seeded jobs (8/4 → 10/2 for speeds 80 vs 20).
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        b.scale_speed(0, 2.0);
+        assert_eq!(b.speed(0), 80.0);
+        let mut counts = [0usize; 2];
+        for _ in 0..12 {
+            counts[b.submit("k")] += 1;
+        }
+        assert_eq!(counts, [10, 2]);
+        // Once measured, real times win over the (mis)scaled table.
+        let mut b = Balancer::new(&[40.0, 20.0]);
+        b.scale_speed(1, 100.0);
+        b.on_submit(0);
+        b.on_complete("k", 0, ms(10));
+        b.on_submit(1);
+        b.on_complete("k", 1, ms(1000));
+        let mut counts = [0usize; 2];
+        for _ in 0..20 {
+            counts[b.submit("k")] += 1;
+        }
+        assert_eq!(counts[1], 0, "measured 1000ms beats a flattering table");
     }
 
     #[test]

@@ -81,6 +81,7 @@
 //! ```
 
 pub mod balancer;
+pub mod counterfactual;
 pub mod init;
 pub mod paper_api;
 pub mod registry;
@@ -88,6 +89,7 @@ pub mod runtime;
 pub mod spec;
 
 pub use balancer::{Balancer, DeviceEstimate};
+pub use counterfactual::{replay_audit, CounterfactualReplay, PlacementFlip};
 pub use init::{initialize, InitReport};
 pub use paper_api::{Cashmere, KernelHandle, KernelLaunch, LaunchError, LaunchResult};
 pub use registry::{arg_shape, KernelRegistry, StatsKey};

@@ -243,6 +243,57 @@ impl CashmereLeafRuntime {
         })
     }
 
+    /// Virtually scale the compute speed of every device whose level name
+    /// matches `selector` (`*` matches all) by `factor`. Returns how many
+    /// devices matched. Advisor what-if hook: kernels finish `factor`×
+    /// sooner, and because the balancer learns *measured* times, its
+    /// estimates follow automatically.
+    pub fn scale_device_speed(&mut self, selector: &str, factor: f64) -> usize {
+        let mut matched = 0;
+        for nd in &mut self.nodes {
+            for slot in &mut nd.devices {
+                if selector == "*" || selector == slot.sim.level_name {
+                    slot.sim.scale_speed(factor);
+                    matched += 1;
+                }
+            }
+        }
+        matched
+    }
+
+    /// Virtually scale the PCIe link (bandwidth × `factor`, latency ÷
+    /// `factor`) of every device matching `selector`. Returns the match
+    /// count.
+    pub fn scale_pcie(&mut self, selector: &str, factor: f64) -> usize {
+        let mut matched = 0;
+        for nd in &mut self.nodes {
+            for slot in &mut nd.devices {
+                if selector == "*" || selector == slot.sim.level_name {
+                    slot.sim.scale_pcie(factor);
+                    matched += 1;
+                }
+            }
+        }
+        matched
+    }
+
+    /// Scale the balancer's *belief* about matching devices without making
+    /// them actually faster: the static speed-table entry is multiplied by
+    /// `factor`, but kernels still take their physical time. Isolates how
+    /// much of performance is placement quality vs raw device speed.
+    pub fn scale_balancer_table(&mut self, selector: &str, factor: f64) -> usize {
+        let mut matched = 0;
+        for nd in &mut self.nodes {
+            for (didx, slot) in nd.devices.iter().enumerate() {
+                if selector == "*" || selector == slot.sim.level_name {
+                    nd.balancer.scale_speed(didx, factor);
+                    matched += 1;
+                }
+            }
+        }
+        matched
+    }
+
     fn lanes_for(trace: &mut Trace, node: usize, dev_name: &str, dev_idx: usize) -> DevLanes {
         let base = format!("n{node}.{dev_name}{dev_idx}");
         DevLanes {
@@ -569,7 +620,10 @@ impl CashmereLeafRuntime {
         let nd = &mut self.nodes[node];
         let slot = &mut nd.devices[didx];
         let cost = estimate_time(&stats, &slot.sim.params, cfg.class);
-        let kernel_time = SimTime::from_secs_f64(cost.total_s);
+        // Costs are physical; the advisor's virtual speed scale applies at
+        // readout, same as `SimDevice::run_kernel` (this cached-stats path
+        // bypasses it).
+        let kernel_time = SimTime::from_secs_f64(cost.total_s / slot.sim.speed_scale);
 
         // Reserve memory until the job leaves the device.
         // Timelines: h2d from submission; exec after the copy; d2h after.

@@ -11,6 +11,7 @@
 //! fixed-point microseconds (`ns/1000` with three decimals), and no wall
 //! clock is consulted. Two identical seeded runs produce identical bytes.
 
+use crate::obs::timeline::UtilizationTimelines;
 use crate::time::SimTime;
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -117,6 +118,28 @@ impl Trace {
             push_ts(&mut out, s.start);
             out.push('}');
         }
+        // Utilization counter tracks: one `ph:"C"` series per lane, named
+        // `util:<lane>`, reusing the lane's existing tid and thread_name
+        // metadata (no duplicate lane registration). Lanes that recorded no
+        // spans emit nothing — `UtilizationTimelines` omits them — so the
+        // export never grows empty named counter rows.
+        let util = UtilizationTimelines::compute(self);
+        for lane in &util.lanes {
+            let name = format!("util:{}", lane.name);
+            for (ts, v) in &lane.points {
+                sep(&mut out);
+                out.push_str("{\"ph\":\"C\",\"name\":");
+                push_json_str(&mut out, &name);
+                let _ = write!(
+                    out,
+                    ",\"cat\":\"util\",\"pid\":1,\"tid\":{},\"ts\":",
+                    lane.lane
+                );
+                push_ts(&mut out, *ts);
+                let _ = write!(out, ",\"args\":{{\"util\":{v}}}");
+                out.push('}');
+            }
+        }
         out.push_str("\n],\"displayTimeUnit\":\"ns\"}");
         out
     }
@@ -146,12 +169,14 @@ pub struct ChromeEvent {
     pub args: Option<ChromeArgs>,
 }
 
-/// The `args` payload: `name` on metadata events, `span`/`parent` on spans.
+/// The `args` payload: `name` on metadata events, `span`/`parent` on
+/// spans, `util` on counter samples.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChromeArgs {
     pub name: Option<String>,
     pub span: Option<u64>,
     pub parent: Option<u64>,
+    pub util: Option<u64>,
 }
 
 impl ChromeTrace {
@@ -169,6 +194,26 @@ impl ChromeTrace {
             .iter()
             .filter(|e| e.ph == "s" && e.name == label)
             .count()
+    }
+
+    /// Distinct counter tracks (`"C"` event names), in first-seen order.
+    pub fn counter_tracks(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for e in self.traceEvents.iter().filter(|e| e.ph == "C") {
+            if !seen.contains(&e.name.as_str()) {
+                seen.push(&e.name);
+            }
+        }
+        seen
+    }
+
+    /// Counter samples on the named track.
+    pub fn counter_samples(&self, track: &str) -> Vec<(f64, u64)> {
+        self.traceEvents
+            .iter()
+            .filter(|e| e.ph == "C" && e.name == track)
+            .map(|e| (e.ts, e.args.as_ref().and_then(|a| a.util).unwrap_or(0)))
+            .collect()
     }
 }
 
@@ -213,6 +258,15 @@ mod tests {
         assert_eq!(parsed.flow_count("steal"), 1);
         let fs = parsed.traceEvents.iter().filter(|e| e.ph == "f").count();
         assert_eq!(fs, 3);
+        // Every active lane gets a utilization counter track whose samples
+        // carry occupancy in args.util.
+        assert_eq!(
+            parsed.counter_tracks(),
+            vec!["util:node0.cpu", "util:node0.net", "util:n0.gpu0.exec"]
+        );
+        let cpu_util = parsed.counter_samples("util:node0.cpu");
+        assert!(cpu_util.contains(&(0.0, 1)), "{cpu_util:?}");
+        assert_eq!(cpu_util.last(), Some(&(400.0, 0)));
         // Timestamps are microseconds.
         assert_eq!(xs[0].ts, 0.0);
         assert_eq!(xs[0].dur, Some(10.0));
@@ -245,6 +299,25 @@ mod tests {
             tr.to_chrome_json()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn zero_span_lanes_emit_no_counter_track() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("active");
+        let _idle = tr.add_lane("idle"); // registered, never records a span
+        tr.record(a, SpanKind::Kernel, "k", t(0), t(10));
+        let parsed: ChromeTrace = serde_json::from_str(&tr.to_chrome_json()).unwrap();
+        // Both lanes keep their thread_name metadata (spans could still
+        // target them in another run) …
+        assert_eq!(parsed.lane_count(), 2);
+        // … but only the active lane gets a counter track, and no second
+        // metadata event is emitted for the counter (lane registration is
+        // shared between spans and counters).
+        assert_eq!(parsed.counter_tracks(), vec!["util:active"]);
+        let metadata = parsed.traceEvents.iter().filter(|e| e.ph == "M").count();
+        assert_eq!(metadata, 2);
     }
 
     #[test]

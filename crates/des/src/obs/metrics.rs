@@ -19,10 +19,12 @@ const BUCKETS: usize = 65;
 
 /// A latency histogram with logarithmic (power-of-two) buckets.
 ///
-/// Quantiles are resolved to a bucket's upper bound clamped into the observed
-/// `[min, max]` range, so they are exact for single-valued distributions and
-/// accurate to within a factor of two otherwise — plenty for telling a 2 µs
-/// steal RTT from a 2 ms PCIe transfer.
+/// Quantiles interpolate linearly *within* the resolved log₂ bucket (the
+/// `histogram_quantile` rule), positioned by the rank's offset into the
+/// bucket, then clamp into the observed `[min, max]` range — exact for
+/// single-valued distributions and far closer than the bucket upper bound
+/// (which over-reported by up to 2× when the mass sat at a bucket's lower
+/// edge) otherwise.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
@@ -58,6 +60,14 @@ fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1).min(63)
+    }
+}
+
 impl LatencyHistogram {
     pub fn new() -> Self {
         Self::default()
@@ -88,8 +98,14 @@ impl LatencyHistogram {
         SimTime::from_nanos(self.sum_ns.checked_div(self.count).unwrap_or(0))
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, resolved to
-    /// bucket granularity.
+    /// Sum of every recorded value.
+    pub fn sum(&self) -> SimTime {
+        SimTime::from_nanos(self.sum_ns)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, interpolated
+    /// linearly within the resolved log₂ bucket by the rank's offset into
+    /// that bucket's population.
     pub fn quantile(&self, q: f64) -> SimTime {
         if self.count == 0 {
             return SimTime::ZERO;
@@ -99,7 +115,13 @@ impl LatencyHistogram {
         for (i, n) in self.buckets.iter().enumerate() {
             cumulative += n;
             if cumulative >= target {
-                return SimTime::from_nanos(bucket_upper_bound(i).clamp(self.min_ns, self.max_ns));
+                let lower = bucket_lower_bound(i);
+                let upper = bucket_upper_bound(i);
+                // Rank position inside this bucket, in (0, 1].
+                let before = cumulative - n;
+                let pos = (target - before) as f64 / *n as f64;
+                let est = lower as f64 + (upper - lower) as f64 * pos;
+                return SimTime::from_nanos((est as u64).clamp(self.min_ns, self.max_ns));
             }
         }
         SimTime::from_nanos(self.max_ns)
@@ -255,6 +277,62 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// OpenMetrics / Prometheus text exposition of every metric.
+    ///
+    /// Counters become `counter` families (`_total` samples), time-weighted
+    /// gauges become `gauge` families with a `stat` label (`last`, `max`,
+    /// `mean` — in that fixed order), and latency histograms become
+    /// `summary` families with ascending `quantile` labels plus `_count` /
+    /// `_sum` samples in seconds. Names are prefixed `cashmere_` with
+    /// non-alphanumeric characters mapped to `_`; family order follows the
+    /// registry's sorted storage, so the output is byte-deterministic.
+    /// `now` closes out the time-weighted gauges, as in
+    /// [`MetricsRegistry::summary`].
+    pub fn to_openmetrics(&self, now: SimTime) -> String {
+        fn family(name: &str) -> String {
+            let mut out = String::from("cashmere_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let f = family(name);
+            let _ = writeln!(out, "# TYPE {f} counter");
+            let _ = writeln!(out, "# HELP {f} Counter `{name}`.");
+            let _ = writeln!(out, "{f}_total {v}");
+        }
+        for (name, g) in self.gauges() {
+            let f = family(name);
+            let _ = writeln!(out, "# TYPE {f} gauge");
+            let _ = writeln!(out, "# HELP {f} Time-weighted gauge `{name}`.");
+            let _ = writeln!(out, "{f}{{stat=\"last\"}} {}", g.value());
+            let _ = writeln!(out, "{f}{{stat=\"max\"}} {}", g.max());
+            let _ = writeln!(out, "{f}{{stat=\"mean\"}} {:.6}", g.mean(now));
+        }
+        for (name, h) in self.histograms() {
+            let f = family(name);
+            let _ = writeln!(out, "# TYPE {f} summary");
+            let _ = writeln!(out, "# HELP {f} Latency histogram `{name}`, seconds.");
+            for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "{f}{{quantile=\"{label}\"}} {:.9}",
+                    h.quantile(q).as_secs_f64()
+                );
+            }
+            let _ = writeln!(out, "{f}_count {}", h.count());
+            let _ = writeln!(out, "{f}_sum {:.9}", h.sum().as_secs_f64());
+        }
+        out.push_str("# EOF\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -294,8 +372,11 @@ mod tests {
         assert_eq!(h.count(), 100);
         let p50 = h.p50().as_nanos();
         assert!((1_000..2_048).contains(&p50), "p50 = {p50}");
+        // p95 lands in the 1 ms value's log2 bucket [2^19, 2^20); the
+        // interpolated estimate stays inside it instead of snapping to the
+        // upper bound.
         let p95 = h.p95().as_nanos();
-        assert!((1_000_000..2_097_152).contains(&p95), "p95 = {p95}");
+        assert!((524_288..1_048_576).contains(&p95), "p95 = {p95}");
         let p995 = h.quantile(0.995).as_nanos();
         assert!(p995 >= 1_000_000_000, "p99.5 = {p995}");
         // Quantiles never exceed the observed maximum.
@@ -314,6 +395,37 @@ mod tests {
             got >= exact_p50 / 2 && got <= exact_p50 * 2,
             "p50 {got} vs exact {exact_p50}"
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_bucket() {
+        // Uniform 1..=1000 µs: linear interpolation within the log2 bucket
+        // lands within 10% of the exact quantile; the old upper-bound
+        // readout was off by up to 2×.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(t(v * 1_000));
+        }
+        for (q, exact) in [(0.50, 500_000.0), (0.95, 950_000.0), (0.99, 990_000.0)] {
+            let got = h.quantile(q).as_nanos() as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.10, "q{q}: got {got}, exact {exact}, rel {rel:.3}");
+        }
+    }
+
+    #[test]
+    fn bucket_edge_mass_no_longer_over_reports() {
+        // The regression case: every sample sits exactly on a bucket's
+        // lower edge (1024 ns opens the [1024, 2048) bucket). The old
+        // readout returned the bucket upper bound 2047 — a 2× over-report;
+        // interpolation + min/max clamping recovers the exact value.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(t(1024));
+        }
+        assert_eq!(h.p50(), t(1024));
+        assert_eq!(h.p95(), t(1024));
+        assert_eq!(h.p99(), t(1024));
     }
 
     #[test]
@@ -357,6 +469,33 @@ mod tests {
         // Weighted mean over [100, 300): 2.0 held 0 ns, 4.0 held 100 ns,
         // 0.0 held 100 ns.
         assert!((g.mean(t(300)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn openmetrics_exposition_has_type_help_and_eof() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.add("steals.ok", 7);
+        m.gauge_set("n0.dev0.queue", t(0), 2.0);
+        m.gauge_set("n0.dev0.queue", t(100), 4.0);
+        m.observe("pcie.h2d", t(1_000_000));
+        let text = m.to_openmetrics(t(200));
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE cashmere_steals_ok counter"));
+        assert!(text.contains("# HELP cashmere_steals_ok "));
+        assert!(text.contains("cashmere_steals_ok_total 7"));
+        assert!(text.contains("# TYPE cashmere_n0_dev0_queue gauge"));
+        assert!(text.contains("cashmere_n0_dev0_queue{stat=\"last\"} 4"));
+        assert!(text.contains("# TYPE cashmere_pcie_h2d summary"));
+        assert!(text.contains("cashmere_pcie_h2d{quantile=\"0.5\"} 0.001000000"));
+        assert!(text.contains("cashmere_pcie_h2d_count 1"));
+        assert!(text.contains("cashmere_pcie_h2d_sum 0.001000000"));
+        // `stat` labels render in fixed last < max < mean order.
+        let last = text.find("stat=\"last\"").unwrap();
+        let max = text.find("stat=\"max\"").unwrap();
+        let mean = text.find("stat=\"mean\"").unwrap();
+        assert!(last < max && max < mean);
+        assert_eq!(text, m.to_openmetrics(t(200)), "byte-deterministic");
     }
 
     #[test]

@@ -14,11 +14,24 @@
 //! - [`critical`]: the longest dependency chain from the root spawn to the
 //!   final combine, attributed per [`crate::SpanKind`], so "makespan = X,
 //!   critical path = 62% kernel / 23% PCIe / 15% steal" is how a run reads.
+//! - [`timeline`]: per-lane occupancy step functions and busy fractions,
+//!   exported as Chrome counter tracks and a text digest.
+//! - [`advisor`]: the what-if vocabulary — perturbation specs
+//!   (`dev:k20:2x`), candidate enumeration from a baseline trace, and the
+//!   ranked virtual-speedup report the bench `advisor` bin fills by
+//!   deterministic re-execution.
 
+pub mod advisor;
 pub mod chrome;
 pub mod critical;
 pub mod metrics;
+pub mod timeline;
 
+pub use advisor::{
+    critical_share_pct, enumerate_candidates, Candidate, PerturbTarget, Perturbation, WhatIfReport,
+    WhatIfRow,
+};
 pub use chrome::{ChromeArgs, ChromeEvent, ChromeTrace};
 pub use critical::{CriticalPath, CriticalSegment};
 pub use metrics::{LatencyHistogram, MetricsRegistry};
+pub use timeline::{LaneUsage, UtilizationTimelines};

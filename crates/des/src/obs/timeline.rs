@@ -1,0 +1,211 @@
+//! Per-resource utilization timelines derived from the span trace.
+//!
+//! Every lane (device engine, node CPU, NIC) gets a step function of its
+//! concurrent-span occupancy over virtual time, plus the time-weighted busy
+//! fraction of the run horizon. The step functions export as Chrome counter
+//! tracks (`ph:"C"`, see [`crate::obs::chrome`]) so idle gaps line up under
+//! the span bars in Perfetto, and the busy fractions render as a text
+//! digest the advisor prints next to its what-if ranking — a what-if win on
+//! a resource should correspond to high occupancy here, and a loss to idle
+//! time.
+//!
+//! Lanes with zero recorded spans are omitted entirely: they contribute no
+//! evidence, and emitting empty counter tracks for them would clutter the
+//! Chrome export with dead rows.
+
+use crate::time::SimTime;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Occupancy of one trace lane over the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneUsage {
+    /// Lane index in the owning [`Trace`] (the Chrome `tid`).
+    pub lane: usize,
+    pub name: String,
+    /// Number of spans recorded on the lane.
+    pub spans: usize,
+    /// Union of the lane's span intervals (overlap counted once).
+    pub busy: SimTime,
+    /// `busy` as a percentage of the trace horizon.
+    pub busy_pct: f64,
+    /// Occupancy step function: `(time, concurrent spans)` at every point
+    /// where the count changes, starting at the first span start and ending
+    /// with a zero at the last span end. Consecutive equal counts are
+    /// coalesced.
+    pub points: Vec<(SimTime, u64)>,
+}
+
+/// Utilization timelines of every lane that recorded at least one span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationTimelines {
+    /// End of the last recorded span.
+    pub horizon: SimTime,
+    /// Per-lane occupancy, in lane-registration order.
+    pub lanes: Vec<LaneUsage>,
+}
+
+impl UtilizationTimelines {
+    /// Compute occupancy step functions for every lane of `trace` that has
+    /// at least one span. Deterministic: a single sorted sweep over span
+    /// endpoints per lane.
+    pub fn compute(trace: &Trace) -> UtilizationTimelines {
+        let horizon = trace.horizon();
+        let mut per_lane: Vec<Vec<(u64, i64)>> = vec![Vec::new(); trace.lane_count()];
+        for s in trace.spans() {
+            per_lane[s.lane.0].push((s.start.as_nanos(), 1));
+            per_lane[s.lane.0].push((s.end.as_nanos(), -1));
+        }
+        let mut lanes = Vec::new();
+        for (lane, mut deltas) in per_lane.into_iter().enumerate() {
+            if deltas.is_empty() {
+                continue;
+            }
+            let spans = deltas.len() / 2;
+            // Ends sort before starts at the same instant, so back-to-back
+            // spans read as continuously busy rather than a zero-width dip.
+            deltas.sort_unstable();
+            let mut points: Vec<(SimTime, u64)> = Vec::new();
+            let mut busy_ns = 0u64;
+            let mut count = 0i64;
+            let mut prev_ts = deltas[0].0;
+            let mut i = 0;
+            while i < deltas.len() {
+                let ts = deltas[i].0;
+                if count > 0 {
+                    busy_ns += ts - prev_ts;
+                }
+                prev_ts = ts;
+                while i < deltas.len() && deltas[i].0 == ts {
+                    count += deltas[i].1;
+                    i += 1;
+                }
+                let c = count.max(0) as u64;
+                if points.last().map(|&(_, v)| v) != Some(c) {
+                    points.push((SimTime::from_nanos(ts), c));
+                }
+            }
+            let busy = SimTime::from_nanos(busy_ns);
+            let busy_pct = if horizon.as_nanos() == 0 {
+                0.0
+            } else {
+                100.0 * busy_ns as f64 / horizon.as_nanos() as f64
+            };
+            lanes.push(LaneUsage {
+                lane,
+                name: trace.lane_name(crate::trace::LaneId(lane)).to_string(),
+                spans,
+                busy,
+                busy_pct,
+                points,
+            });
+        }
+        UtilizationTimelines { horizon, lanes }
+    }
+
+    /// Look up a lane's usage by name.
+    pub fn lane(&self, name: &str) -> Option<&LaneUsage> {
+        self.lanes.iter().find(|l| l.name == name)
+    }
+
+    /// Text digest: one line per lane with its busy share of the horizon,
+    /// sorted by descending busy time (ties by lane order) so the hottest
+    /// resources lead.
+    pub fn text_digest(&self) -> String {
+        let mut order: Vec<usize> = (0..self.lanes.len()).collect();
+        order.sort_by(|&a, &b| self.lanes[b].busy.cmp(&self.lanes[a].busy).then(a.cmp(&b)));
+        let width = self
+            .lanes
+            .iter()
+            .map(|l| l.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let mut out = format!("resource utilization over {} horizon:\n", self.horizon);
+        for idx in order {
+            let l = &self.lanes[idx];
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>6.1}%  busy {}  spans {}",
+                l.name, l.busy_pct, l.busy, l.spans
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanKind;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn occupancy_counts_overlap_and_skips_empty_lanes() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("busy");
+        let _empty = tr.add_lane("empty");
+        // Two overlapping spans, then a gap, then one more.
+        tr.record(a, SpanKind::Kernel, "k1", t(0), t(10));
+        tr.record(a, SpanKind::Kernel, "k2", t(5), t(15));
+        tr.record(a, SpanKind::Kernel, "k3", t(20), t(30));
+        let util = UtilizationTimelines::compute(&tr);
+        assert_eq!(util.lanes.len(), 1, "empty lanes are omitted");
+        let l = util.lane("busy").unwrap();
+        assert_eq!(l.spans, 3);
+        // Busy union: [0,15) ∪ [20,30) = 25 µs of a 30 µs horizon.
+        assert_eq!(l.busy, t(25));
+        assert!((l.busy_pct - 25.0 / 30.0 * 100.0).abs() < 1e-9);
+        assert_eq!(
+            l.points,
+            vec![
+                (t(0), 1),
+                (t(5), 2),
+                (t(10), 1),
+                (t(15), 0),
+                (t(20), 1),
+                (t(30), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn back_to_back_spans_read_as_continuous() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("x");
+        tr.record(a, SpanKind::CpuTask, "a", t(0), t(5));
+        tr.record(a, SpanKind::CpuTask, "b", t(5), t(9));
+        let util = UtilizationTimelines::compute(&tr);
+        let l = util.lane("x").unwrap();
+        assert_eq!(l.busy, t(9));
+        assert_eq!(l.points, vec![(t(0), 1), (t(9), 0)]);
+    }
+
+    #[test]
+    fn digest_ranks_hottest_lane_first() {
+        let mut tr = Trace::new();
+        tr.set_enabled(true);
+        let a = tr.add_lane("cool");
+        let b = tr.add_lane("hot");
+        tr.record(a, SpanKind::CpuTask, "a", t(0), t(1));
+        tr.record(b, SpanKind::Kernel, "b", t(0), t(50));
+        let d = UtilizationTimelines::compute(&tr).text_digest();
+        let hot = d.find("hot").unwrap();
+        let cool = d.find("cool").unwrap();
+        assert!(hot < cool, "{d}");
+    }
+
+    #[test]
+    fn empty_trace_has_no_lanes() {
+        let tr = Trace::new();
+        let util = UtilizationTimelines::compute(&tr);
+        assert!(util.lanes.is_empty());
+        assert_eq!(util.text_digest().lines().count(), 1);
+    }
+}

@@ -75,6 +75,12 @@ pub struct SimDevice {
     /// Kernel execution engine.
     pub exec: Timeline,
     pub memory: DeviceMemory,
+    /// Virtual compute-speed scale (advisor what-if experiments): kernel
+    /// times divide by this. 1.0 = the device as described.
+    pub speed_scale: f64,
+    /// Virtual PCIe scale: transfer bandwidth multiplies by this, latency
+    /// divides. 1.0 = the link as described.
+    pub pcie_scale: f64,
 }
 
 impl SimDevice {
@@ -93,7 +99,24 @@ impl SimDevice {
             d2h: Timeline::new(),
             exec: Timeline::new(),
             memory: mem,
+            speed_scale: 1.0,
+            pcie_scale: 1.0,
         })
+    }
+
+    /// Virtually scale this device's compute rate (advisor what-if):
+    /// `factor` 2.0 halves every kernel time from now on. Compounds with
+    /// earlier calls.
+    pub fn scale_speed(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bad speed factor");
+        self.speed_scale *= factor;
+    }
+
+    /// Virtually scale this device's PCIe link (advisor what-if):
+    /// bandwidth × `factor`, latency ÷ `factor`. Compounds.
+    pub fn scale_pcie(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bad pcie factor");
+        self.pcie_scale *= factor;
     }
 
     /// Construct by level name (convenience).
@@ -104,10 +127,11 @@ impl SimDevice {
         SimDevice::new(h, level)
     }
 
-    /// Duration of a PCIe transfer of `bytes` (either direction).
+    /// Duration of a PCIe transfer of `bytes` (either direction), under the
+    /// current virtual link scale.
     pub fn transfer_time(&self, bytes: u64) -> SimTime {
-        let lat = SimTime::from_secs_f64(self.params.pcie_latency_us * 1e-6);
-        lat + SimTime::from_secs_f64(bytes as f64 / (self.params.pcie_gbs * 1e9))
+        let lat = SimTime::from_secs_f64(self.params.pcie_latency_us * 1e-6 / self.pcie_scale);
+        lat + SimTime::from_secs_f64(bytes as f64 / (self.params.pcie_gbs * self.pcie_scale * 1e9))
     }
 
     /// Enqueue a host→device copy requested at `now`; returns `(start, end)`.
@@ -174,7 +198,9 @@ impl SimDevice {
         let cost = estimate_time(&stats, &self.params, cfg.class);
         Ok(KernelRun {
             args: result.args,
-            time: SimTime::from_secs_f64(cost.total_s),
+            // The cost model describes the physical device; the virtual
+            // speed scale (advisor what-if) applies to simulated time only.
+            time: SimTime::from_secs_f64(cost.total_s / self.speed_scale),
             stats,
             cost,
         })
@@ -351,6 +377,41 @@ mod tests {
         let titan = time_on("titan");
         assert!(k20 < gtx480, "k20 {k20} vs gtx480 {gtx480}");
         assert!(titan <= k20, "titan {titan} vs k20 {k20}");
+    }
+
+    #[test]
+    fn virtual_scales_divide_kernel_and_transfer_times() {
+        let (h, mut d) = gtx480();
+        let ck = compile(
+            "perfect void scale2(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = a[i] * 2.0; }
+}",
+            &h,
+        )
+        .unwrap();
+        let n = 1u64 << 20;
+        let mk = || {
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Array(ArrayArg::phantom(ElemTy::Float, &[n])),
+            ]
+        };
+        let base = d.run_kernel(&h, &ck, mk(), ExecMode::sampled()).unwrap();
+        let base_xfer = d.transfer_time(80_000_000);
+        d.scale_speed(2.0);
+        d.scale_pcie(2.0);
+        let fast = d.run_kernel(&h, &ck, mk(), ExecMode::sampled()).unwrap();
+        // Kernel time halves; the cost breakdown itself stays physical.
+        let ratio = base.time.as_secs_f64() / fast.time.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+        assert!((fast.cost.total_s - base.cost.total_s).abs() < 1e-12);
+        // Transfers: bandwidth × 2 and latency ÷ 2 exactly halve the time.
+        let fast_xfer = d.transfer_time(80_000_000);
+        let xr = base_xfer.as_secs_f64() / fast_xfer.as_secs_f64();
+        assert!((xr - 2.0).abs() < 1e-9, "xfer ratio {xr}");
+        // Scales compound; a 0.5 undoes a 2.0.
+        d.scale_speed(0.5);
+        assert!((d.speed_scale - 1.0).abs() < 1e-12);
     }
 
     #[test]

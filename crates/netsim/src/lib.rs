@@ -56,6 +56,18 @@ impl NetConfig {
         }
     }
 
+    /// The same fabric virtually scaled by `factor` (advisor what-if):
+    /// bandwidth multiplies, latency divides; endpoint CPU handling is a
+    /// host-side cost and stays untouched.
+    pub fn scaled(&self, factor: f64) -> NetConfig {
+        assert!(factor.is_finite() && factor > 0.0, "bad network factor");
+        NetConfig {
+            latency: SimTime::from_secs_f64(self.latency.as_secs_f64() / factor),
+            bandwidth_gbs: self.bandwidth_gbs * factor,
+            ..*self
+        }
+    }
+
     /// Pure wire time of `bytes` (latency + serialization), no endpoint
     /// contention.
     pub fn wire_time(&self, bytes: u64) -> SimTime {
@@ -96,6 +108,19 @@ mod tests {
         assert_eq!(busy, net.cpu_handling * 5);
         // clamped
         assert_eq!(net.handling_time(7.0), busy);
+    }
+
+    #[test]
+    fn scaled_fabric_halves_wire_time() {
+        let net = NetConfig::qdr_infiniband();
+        let fast = net.scaled(2.0);
+        assert_eq!(fast.latency, SimTime::from_nanos(650));
+        assert!((fast.bandwidth_gbs - 6.4).abs() < 1e-12);
+        let w = net.wire_time(1_000_000).as_secs_f64();
+        let wf = fast.wire_time(1_000_000).as_secs_f64();
+        assert!((w / wf - 2.0).abs() < 1e-9, "{w} vs {wf}");
+        // Handling cost is a CPU property, not a fabric one.
+        assert_eq!(fast.cpu_handling, net.cpu_handling);
     }
 
     #[test]

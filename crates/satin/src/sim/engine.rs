@@ -266,6 +266,12 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
         &self.world.leaf
     }
 
+    /// Mutable access to the leaf runtime, for pre-run configuration such
+    /// as the advisor's virtual speed/link scaling. Call before `run`.
+    pub fn leaf_runtime_mut(&mut self) -> &mut L {
+        &mut self.world.leaf
+    }
+
     /// Schedule node `n` to crash at absolute time `at`. Must be scheduled
     /// before the run that it should interrupt. Node 0 (the master) cannot
     /// crash — as in Satin, the master holds the root. Rejects (rather than

@@ -29,10 +29,26 @@ use std::fmt::Write as _;
 
 /// A set of perturbations applied to one re-execution. Auto-enumerated
 /// experiments are always singletons; `--what-if dev:k20:2x+net:2x` builds
-/// a joint set whose factors apply together in one run.
+/// a joint set whose factors apply together in one run. Serializes
+/// transparently as the perturbation list, so a `Scenario`'s `perturb`
+/// field reads as a plain JSON array.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PerturbSet {
     pub items: Vec<Perturbation>,
+}
+
+// Hand-written transparent (de)serialization: a set IS its perturbation
+// list in JSON.
+impl Serialize for PerturbSet {
+    fn to_content(&self) -> serde::Content {
+        self.items.to_content()
+    }
+}
+
+impl Deserialize for PerturbSet {
+    fn from_content(content: &serde::Content) -> Result<PerturbSet, serde::DeError> {
+        Vec::<Perturbation>::from_content(content).map(|items| PerturbSet { items })
+    }
 }
 
 impl PerturbSet {
@@ -114,23 +130,95 @@ pub struct CounterfactualSummary {
     pub flip_pct: f64,
 }
 
+/// Compact per-lane occupancy: everything in [`LaneUsage`] except the
+/// step-function points. The full timelines of a paper-scale run serialize
+/// to megabytes of `(time, count)` pairs — this summary is what the default
+/// advisor artifact carries; the points stay available behind `--full-json`
+/// (see [`AdvisorFull`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneSummary {
+    pub lane: usize,
+    pub name: String,
+    pub spans: usize,
+    pub busy: SimTime,
+    pub busy_pct: f64,
+}
+
+/// Compact form of [`UtilizationTimelines`]: per-lane busy fractions
+/// without the occupancy step functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    pub horizon: SimTime,
+    pub lanes: Vec<LaneSummary>,
+}
+
+impl UtilizationSummary {
+    pub fn of(full: &UtilizationTimelines) -> UtilizationSummary {
+        UtilizationSummary {
+            horizon: full.horizon,
+            lanes: full
+                .lanes
+                .iter()
+                .map(|l| LaneSummary {
+                    lane: l.lane,
+                    name: l.name.clone(),
+                    spans: l.spans,
+                    busy: l.busy,
+                    busy_pct: l.busy_pct,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Everything one advisor invocation produces, JSON-serializable. Field
 /// order (and therefore the pretty-printed bytes) is deterministic.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdvisorJson {
     /// Ranked what-if table, best measured improvement first.
     pub report: WhatIfReport,
-    /// Per-lane occupancy of the *baseline* run.
-    pub utilization: UtilizationTimelines,
+    /// Per-lane occupancy of the *baseline* run (compact; the step
+    /// functions live in [`AdvisorRun::timelines`]).
+    pub utilization: UtilizationSummary,
     /// Audit replays for the device-speed / table experiments.
     pub counterfactuals: Vec<CounterfactualSummary>,
 }
 
-/// Advisor output: the serializable report plus the rendered text digest.
+/// The full-fidelity advisor dump (`--full-json`): the ranked report with
+/// the complete occupancy step functions instead of the compact summary.
+#[derive(Debug, Clone)]
+pub struct AdvisorFull<'a> {
+    pub report: &'a WhatIfReport,
+    pub utilization: &'a UtilizationTimelines,
+    pub counterfactuals: &'a [CounterfactualSummary],
+}
+
+// Hand-written: the shim's derive rejects lifetime-generic types.
+impl Serialize for AdvisorFull<'_> {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content;
+        Content::Map(vec![
+            (Content::Str("report".to_string()), self.report.to_content()),
+            (
+                Content::Str("utilization".to_string()),
+                self.utilization.to_content(),
+            ),
+            (
+                Content::Str("counterfactuals".to_string()),
+                self.counterfactuals.to_content(),
+            ),
+        ])
+    }
+}
+
+/// Advisor output: the serializable report, the rendered text digest, and
+/// the full baseline timelines (for `--full-json` dumps).
 #[derive(Debug, Clone)]
 pub struct AdvisorRun {
     pub json: AdvisorJson,
     pub text: String,
+    /// Full occupancy step functions of the baseline run.
+    pub timelines: UtilizationTimelines,
 }
 
 /// Run the full advisor workflow over one workload.
@@ -255,10 +343,11 @@ where
     Ok(AdvisorRun {
         json: AdvisorJson {
             report,
-            utilization,
+            utilization: UtilizationSummary::of(&utilization),
             counterfactuals,
         },
         text,
+        timelines: utilization,
     })
 }
 

@@ -14,24 +14,26 @@
 //! cargo run --release -p cashmere-bench --bin ablation
 //! cargo run --release -p cashmere-bench --bin ablation -- --jobs 4
 //! cargo run --release -p cashmere-bench --bin ablation -- --trace out.json --explain
+//! cargo run --release -p cashmere-bench --bin ablation -- --dump-scenario
 //! ```
 //!
-//! With `--jobs N` the twelve ablation runs fan out over N worker threads
+//! Every variant is one [`Scenario`] differing from the baseline in exactly
+//! the ablated knob; `--dump-scenario` prints the thirteen resolved specs and
+//! `--scenario file.json` runs an arbitrary one. `--policy` is *not*
+//! honored here — the balancer study sweeps that knob itself.
+//!
+//! With `--jobs N` the thirteen ablation runs fan out over N worker threads
 //! and are reported in declared order — byte-identical to `--jobs 1`.
 //!
 //! With `--trace out.json` every measured variant writes a Chrome trace +
-//! balancer audit log (`out.<study>.<variant>.json`); `--explain` prints
-//! each variant's critical-path and metrics summaries — the balancer and
-//! overlap ablations read directly off those reports.
+//! balancer audit log; `--explain` prints each variant's critical-path and
+//! metrics summaries — the balancer and overlap ablations read directly off
+//! those reports.
 
 use cashmere::balancer::Policy;
-use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
-use cashmere_apps::kmeans::{run_iterations, KmeansApp, KmeansProblem};
-use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
-use cashmere_apps::KernelSet;
+use cashmere::ClusterSpec;
 use cashmere_bench::{
-    jobs_from_args, obs_args, paper_sim_config, report_run, sweep_fns, write_json, ObsCapture,
-    Series, Table,
+    cli, report_run, run_scenario, sweep, write_report, AppId, Problem, Scenario, Series, Table,
 };
 use cashmere_netsim::NetConfig;
 use serde::Serialize;
@@ -44,52 +46,19 @@ struct AblationRow {
     relative: f64,
 }
 
-/// Clone the observability exports out of a finished cluster.
-fn capture_of<A: cashmere::CashmereApp>(
-    cluster: &cashmere_satin::ClusterSim<A, cashmere::CashmereLeafRuntime>,
-) -> ObsCapture {
-    ObsCapture {
-        trace: cluster.trace().clone(),
-        metrics: cluster.metrics().clone(),
-        audit: cluster.leaf_runtime().audit.clone(),
-        horizon: cluster.trace().horizon(),
-    }
-}
-
-/// One k-means ablation run; `observe` turns on trace recording and returns
-/// the capture (baseline re-runs pass `false` and stay unobserved).
-fn kmeans_on(
-    spec: &ClusterSpec,
-    policy: Policy,
-    slots: usize,
-    n: u64,
-    observe: bool,
-) -> (f64, Option<ObsCapture>) {
-    let pr = KmeansProblem {
-        n,
-        k: 4096,
-        d: 4,
-        iterations: 3,
-    };
-    let app = KmeansApp::phantom(pr, 262_144, 8);
-    let cents = app.centroids.clone();
-    let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
-    cfg.max_concurrent_leaves = slots;
-    cfg.trace = observe;
-    let mut cluster = build_cluster(
-        app,
-        KmeansApp::registry(KernelSet::Optimized),
-        spec,
-        cfg,
-        RuntimeConfig {
-            balancer_policy: policy,
-            ..RuntimeConfig::default()
-        },
-    )
-    .unwrap();
-    let (_, elapsed) = run_iterations(&mut cluster, &pr, &cents, false);
-    let cap = observe.then(|| capture_of(&cluster));
-    (elapsed.as_secs_f64(), cap)
+/// The balancer/leaf-slot study workload: k-means shrunk until the
+/// per-job device choice actually binds.
+fn kmeans_on(name: &str, spec: &ClusterSpec, policy: Policy, slots: usize, n: u64) -> Scenario {
+    Scenario::new(name, AppId::Kmeans, Series::CashmereOpt, spec)
+        .with_problem(Problem::Kmeans {
+            n,
+            k: 4096,
+            d: 4,
+            iterations: 3,
+        })
+        .with_grain(262_144)
+        .with_policy(policy)
+        .with_leaf_slots(slots)
 }
 
 fn k20_phi_node() -> ClusterSpec {
@@ -98,72 +67,89 @@ fn k20_phi_node() -> ClusterSpec {
     }
 }
 
-fn matmul_run(net: NetConfig, overlap: bool, observe: bool) -> (f64, Option<ObsCapture>) {
-    let pr = MatmulProblem::square(16384);
-    let app = MatmulApp::phantom(pr, 128, 8);
-    let root = app.row_job(0, pr.n);
-    let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
-    cfg.net = net;
-    cfg.trace = observe;
-    let mut cluster = build_cluster(
-        app,
-        MatmulApp::registry(KernelSet::Optimized),
+/// The overlap/network study workload: communication-bound matmul.
+fn matmul_run(name: &str, net: NetConfig, overlap: bool) -> Scenario {
+    Scenario::new(
+        name,
+        AppId::Matmul,
+        Series::CashmereOpt,
         &ClusterSpec::homogeneous(8, "gtx480"),
-        cfg,
-        RuntimeConfig {
-            overlap,
-            ..RuntimeConfig::default()
-        },
     )
-    .unwrap();
-    let start = cluster.now();
-    cluster.broadcast(pr.p * pr.m * 4);
-    let bcast = (cluster.now() - start).as_secs_f64();
-    let _ = cluster.run_root(root);
-    let cap = observe.then(|| capture_of(&cluster));
-    (bcast + cluster.report().makespan.as_secs_f64(), cap)
+    .with_problem(Problem::Matmul {
+        n: 16384,
+        m: 16384,
+        p: 16384,
+    })
+    .with_grain(128)
+    .with_net(net)
+    .with_overlap(overlap)
 }
 
 fn main() {
-    let (obs, rest) = obs_args(std::env::args().collect());
-    let (jobs, _rest) = jobs_from_args(rest);
-    let observed = obs.enabled();
+    let (common, _rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
+    let observed = common.obs.enabled();
 
-    // Enumerate all twelve independent runs (each builds its own cluster and
-    // Sim), fan them out, then report in declared order. Baseline re-runs
-    // carry no label and are never observed.
-    type Run = (f64, Option<ObsCapture>);
-    type Task = Box<dyn FnOnce() -> Run + Send>;
-    let mut runs: Vec<(Option<String>, Task)> = Vec::new();
+    // Enumerate all thirteen independent runs, in declared order. Baseline
+    // re-runs carry no label and are never observed; measured variants take
+    // the observability flags. Each run is one scenario differing from its
+    // baseline in exactly the ablated knob.
+    let mut runs: Vec<(Option<String>, Scenario)> = Vec::new();
+    let push = |runs: &mut Vec<(Option<String>, Scenario)>, label: Option<&str>, sc: Scenario| {
+        let sc = sc.with_capture(label.is_some() && observed);
+        runs.push((label.map(String::from), sc));
+    };
 
     // Ablation 1: balancer baseline + three policies.
-    runs.push((
-        None,
-        Box::new(move || kmeans_on(&k20_phi_node(), Policy::Scenario, 2, 16_000_000, false)),
-    ));
     let balancer_policies = [
         ("scenario (paper III-B)", "scenario", Policy::Scenario),
         ("round-robin", "round-robin", Policy::RoundRobin),
         ("greedy-fastest", "greedy", Policy::FastestOnly),
     ];
+    push(
+        &mut runs,
+        None,
+        kmeans_on(
+            "balancer.base",
+            &k20_phi_node(),
+            Policy::Scenario,
+            2,
+            16_000_000,
+        ),
+    );
     for (_, slug, policy) in balancer_policies {
-        runs.push((
-            Some(format!("balancer.{slug}")),
-            Box::new(move || kmeans_on(&k20_phi_node(), policy, 2, 16_000_000, observed)),
-        ));
+        push(
+            &mut runs,
+            Some(&format!("balancer.{slug}")),
+            kmeans_on(
+                &format!("balancer.{slug}"),
+                &k20_phi_node(),
+                policy,
+                2,
+                16_000_000,
+            ),
+        );
     }
 
     // Ablation 2: overlap baseline + on/off.
-    runs.push((
-        None,
-        Box::new(move || matmul_run(NetConfig::qdr_infiniband(), true, false)),
-    ));
     let overlap_variants = [("on (paper II-C3)", "on", true), ("off", "off", false)];
+    push(
+        &mut runs,
+        None,
+        matmul_run("overlap.base", NetConfig::qdr_infiniband(), true),
+    );
     for (_, slug, overlap) in overlap_variants {
-        runs.push((
-            Some(format!("overlap.{slug}")),
-            Box::new(move || matmul_run(NetConfig::qdr_infiniband(), overlap, observed)),
-        ));
+        push(
+            &mut runs,
+            Some(&format!("overlap.{slug}")),
+            matmul_run(
+                &format!("overlap.{slug}"),
+                NetConfig::qdr_infiniband(),
+                overlap,
+            ),
+        );
     }
 
     // Ablation 3: interconnects.
@@ -172,50 +158,55 @@ fn main() {
         ("gigabit Ethernet", "gbe", NetConfig::gigabit_ethernet()),
     ];
     for (_, slug, net) in network_variants {
-        runs.push((
-            Some(format!("network.{slug}")),
-            Box::new(move || matmul_run(net, true, observed)),
-        ));
+        push(
+            &mut runs,
+            Some(&format!("network.{slug}")),
+            matmul_run(&format!("network.{slug}"), net, true),
+        );
     }
 
     // Ablation 4: leaf-slot baseline + 1/2/4 slots.
-    runs.push((
+    push(
+        &mut runs,
         None,
-        Box::new(move || {
+        kmeans_on(
+            "leaf-slots.base",
+            &ClusterSpec::paper_hetero_kmeans(),
+            Policy::Scenario,
+            2,
+            67_000_000,
+        ),
+    );
+    for slots in [1usize, 2, 4] {
+        push(
+            &mut runs,
+            Some(&format!("leaf-slots.{slots}")),
             kmeans_on(
+                &format!("leaf-slots.{slots}"),
                 &ClusterSpec::paper_hetero_kmeans(),
                 Policy::Scenario,
-                2,
+                slots,
                 67_000_000,
-                false,
-            )
-        }),
-    ));
-    for slots in [1usize, 2, 4] {
-        runs.push((
-            Some(format!("leaf-slots.{slots}")),
-            Box::new(move || {
-                kmeans_on(
-                    &ClusterSpec::paper_hetero_kmeans(),
-                    Policy::Scenario,
-                    slots,
-                    67_000_000,
-                    observed,
-                )
-            }),
-        ));
+            ),
+        );
     }
 
-    let (labels, tasks): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
-    let results = sweep_fns(tasks, jobs);
+    let scenarios: Vec<Scenario> = runs.iter().map(|(_, sc)| sc.clone()).collect();
+    if common.dump {
+        cli::dump_scenarios(&scenarios);
+        return;
+    }
+
+    let (labels, scs): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
+    let results = sweep(scs, common.jobs, |sc| run_scenario(&sc));
     // Emit per-run trace/audit files in declared order before the tables,
     // matching the sequential layout.
     let makespan = |i: usize| -> f64 {
-        let (m, cap) = &results[i];
-        if let (Some(label), Some(cap)) = (&labels[i], cap) {
-            report_run(&obs, label, cap);
+        let run = &results[i];
+        if let (Some(label), Some(cap)) = (&labels[i], &run.cap) {
+            report_run(&common.obs, label, cap);
         }
-        *m
+        run.outcome.makespan_s
     };
 
     let mut json = Vec::new();
@@ -309,5 +300,5 @@ fn main() {
     }
     println!("{}", t.render());
 
-    write_json("ablation", &json);
+    write_report("ablation", &scenarios, &json);
 }

@@ -15,7 +15,7 @@
 //! cargo run --release -p cashmere-bench --bin advisor -- kmeans --hetero
 //! cargo run --release -p cashmere-bench --bin advisor -- --what-if dev:*:2x --sweep 0.5,2
 //! cargo run --release -p cashmere-bench --bin advisor -- --what-if dev:k20:2x+net:2x
-//! cargo run --release -p cashmere-bench --bin advisor -- --jobs 4
+//! cargo run --release -p cashmere-bench --bin advisor -- --jobs 4 --full-json
 //! ```
 //!
 //! * `--what-if <spec>[,<spec>…]` — run these experiments instead of
@@ -24,18 +24,23 @@
 //!   each experiment is re-run at every factor.
 //! * `--hetero` — the app's Table III heterogeneous configuration instead
 //!   of homogeneous GTX480 nodes; `--nodes N` sets the homogeneous size.
+//! * `--full-json` — additionally dump the complete occupancy step
+//!   functions (`advisor_*_full.json`, megabytes at paper scale; the
+//!   default artifact carries the compact per-lane summary).
 //! * `--series`, `--seed`, `--jobs`, `--trace`, `--explain`,
-//!   `--metrics-out` — as in the other bench bins.
+//!   `--metrics-out`, `--scenario`, `--dump-scenario` — as in the other
+//!   bench bins.
 //!
-//! Experiments fan out over `--jobs` worker threads; the report (text and
-//! `bench/out/advisor_*.json`) is byte-identical at any `--jobs`.
+//! The baseline is one [`Scenario`]; each experiment is the same scenario
+//! with one `perturb` entry set. Experiments fan out over `--jobs` worker
+//! threads; the report (text and `bench/out/advisor_*.json`) is
+//! byte-identical at any `--jobs`.
 
 use cashmere::ClusterSpec;
 use cashmere_bench::{
-    advise, jobs_from_args, obs_args, report_run, run_app_perturbed, write_json, AppId, PerturbSet,
-    Series,
+    advise, cli, report_run, run_scenario, write_json, write_report, AdvisorFull, AppId,
+    PerturbSet, Scenario, Series,
 };
-use cashmere_des::fault::FaultPlan;
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -51,8 +56,10 @@ fn hetero_spec(app: AppId) -> ClusterSpec {
 }
 
 fn main() {
-    let (obs, rest) = obs_args(std::env::args().collect());
-    let (jobs, rest) = jobs_from_args(rest);
+    let (common, rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
 
     let mut app = AppId::Kmeans;
     let mut series = Series::CashmereOpt;
@@ -62,6 +69,7 @@ fn main() {
     let mut what_if: Vec<PerturbSet> = Vec::new();
     let mut factors = vec![0.5, 2.0];
     let mut swept = false;
+    let mut full = false;
 
     let mut it = rest.into_iter().skip(1);
     while let Some(a) = it.next() {
@@ -71,6 +79,7 @@ fn main() {
         };
         match a.as_str() {
             "--hetero" => hetero = true,
+            "--full-json" => full = true,
             "--nodes" => {
                 nodes = value("--nodes")
                     .parse()
@@ -81,14 +90,11 @@ fn main() {
             }
             "--series" => {
                 let v = value("--series");
-                series = Series::ALL
-                    .into_iter()
-                    .find(|s| s.name() == v)
-                    .unwrap_or_else(|| {
-                        fail(&format!(
-                            "unknown series `{v}` (satin|cashmere-unopt|cashmere-opt)"
-                        ))
-                    });
+                series = Series::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown series `{v}` (satin|cashmere-unopt|cashmere-opt)"
+                    ))
+                });
             }
             "--seed" => {
                 seed = value("--seed")
@@ -119,7 +125,7 @@ fn main() {
             other => match AppId::parse(other) {
                 Some(a) => app = a,
                 None => fail(&format!(
-                    "unknown argument `{other}` (app name or --hetero|--nodes|--series|--seed|--what-if|--sweep|--jobs|--trace|--explain|--metrics-out)"
+                    "unknown argument `{other}` (app name or --hetero|--nodes|--series|--seed|--what-if|--sweep|--full-json|--jobs|--trace|--explain|--metrics-out)"
                 )),
             },
         }
@@ -138,14 +144,31 @@ fn main() {
             .collect();
     }
 
-    let (spec, cluster) = if hetero {
-        (hetero_spec(app), "hetero (Table III)".to_string())
+    let (spec, cluster, cfg_slug) = if hetero {
+        (
+            hetero_spec(app),
+            "hetero (Table III)".to_string(),
+            "hetero".to_string(),
+        )
     } else {
         (
             ClusterSpec::homogeneous(nodes, "gtx480"),
             format!("{nodes}x gtx480"),
+            format!("{nodes}n"),
         )
     };
+    let base = cli::apply_overrides(
+        Scenario::paper(app, series, &spec, seed).named(format!(
+            "advisor-{}-{}",
+            app.token(),
+            cfg_slug
+        )),
+        &common,
+    );
+    if common.dump {
+        cli::dump_scenarios(std::slice::from_ref(&base));
+        return;
+    }
     let workload = format!("{} / {} / {}", app.name(), series.name(), cluster);
     println!(
         "advisor: {workload} — baseline + {} experiment(s), seed {seed}",
@@ -157,31 +180,44 @@ fn main() {
     );
 
     let runner = |p: Option<&PerturbSet>, observe: bool| {
-        let (r, cap) =
-            run_app_perturbed(app, series, &spec, seed, FaultPlan::default(), observe, p);
+        let mut sc = base.clone().with_capture(observe);
+        if let Some(p) = p {
+            sc.perturb = Some(p.clone());
+        }
+        let run = run_scenario(&sc);
         // The baseline is the only observed run; honor the shared obs flags
         // for it (Chrome trace with counter tracks, OpenMetrics dump, …).
         if observe {
-            if let Some(cap) = &cap {
-                report_run(&obs, "baseline", cap);
+            if let Some(cap) = &run.cap {
+                report_run(&common.obs, "baseline", cap);
             }
         }
-        (r.makespan_s, cap)
+        (run.outcome.makespan_s, run.cap)
     };
-    let run = advise(&workload, seed, &spec, &what_if, &factors, jobs, runner)
-        .unwrap_or_else(|e| fail(&e));
+    let run = advise(
+        &workload,
+        seed,
+        &spec,
+        &what_if,
+        &factors,
+        common.jobs,
+        runner,
+    )
+    .unwrap_or_else(|e| fail(&e));
     print!("{}", run.text);
 
-    let name = format!(
-        "advisor_{}_{}",
-        app.name().replace('-', ""),
-        if hetero {
-            "hetero".to_string()
-        } else {
-            format!("{nodes}n")
-        }
-    );
-    write_json(&name, &run.json);
+    let name = format!("advisor_{}_{}", app.token(), cfg_slug);
+    write_report(&name, std::slice::from_ref(&base), &run.json);
+    if full {
+        // The raw occupancy step functions run to megabytes at paper
+        // scale; they stay out of the default artifact and out of git.
+        let dump = AdvisorFull {
+            report: &run.json.report,
+            utilization: &run.timelines,
+            counterfactuals: &run.json.counterfactuals,
+        };
+        write_json(&format!("{name}_full"), &dump);
+    }
     let best = run.json.report.rows.first();
     if let Some(b) = best {
         println!(

@@ -6,14 +6,17 @@
 //! ```text
 //! cargo run --release -p cashmere-bench --bin fig6
 //! cargo run --release -p cashmere-bench --bin fig6 -- --jobs 4
+//! cargo run --release -p cashmere-bench --bin fig6 -- --scenario s.json
 //! ```
 //!
 //! With `--jobs N` the app × device kernel measurements run on N worker
 //! threads; output order is unchanged, so results are byte-identical to
-//! `--jobs 1`.
+//! `--jobs 1`. `--scenario file.json` runs an arbitrary cluster scenario
+//! through the shared driver instead (the kernel measurements themselves
+//! are not cluster runs, so a bare `--dump-scenario` has nothing to print).
 
 use cashmere_apps::KernelSet;
-use cashmere_bench::{jobs_from_args, kernel_gflops, obs_args, sweep, write_json, AppId, Table};
+use cashmere_bench::{cli, kernel_gflops, sweep, write_report, AppId, Table};
 use cashmere_hwdesc::DeviceKind;
 use serde::Serialize;
 
@@ -27,9 +30,16 @@ struct Row {
 }
 
 fn main() {
-    let (obs, rest) = obs_args(std::env::args().collect());
-    let (jobs, _rest) = jobs_from_args(rest);
-    if obs.enabled() {
+    let (common, _rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
+    if common.dump {
+        println!("note: fig6 measures isolated kernels — no cluster scenarios to dump");
+        return;
+    }
+    let jobs = common.jobs;
+    if common.obs.enabled() {
         // Fig. 6 measures isolated kernel executions — there is no cluster
         // run to trace. Accept the shared flags so sweep scripts can pass
         // them uniformly, but say why nothing is emitted.
@@ -72,7 +82,10 @@ fn main() {
         println!("{}:", app.name());
         println!("{}", t.render());
     }
-    write_json("fig6_kernel_performance", &json);
+    // Same schema/provenance/data envelope as the cluster bins; the
+    // provenance list is empty because these are isolated kernel runs, not
+    // cluster scenarios.
+    write_report("fig6_kernel_performance", &[], &json);
     println!(
         "expected shape (paper): optimization helps drastically for matmul /\n\
          k-means / n-body; the raytracer barely moves (divergence-bound)."

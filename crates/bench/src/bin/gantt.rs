@@ -10,7 +10,12 @@
 //! cargo run --release -p cashmere-bench --bin gantt
 //! cargo run --release -p cashmere-bench --bin gantt -- --trace out.json --explain
 //! cargo run --release -p cashmere-bench --bin gantt -- --small --trace out.json
+//! cargo run --release -p cashmere-bench --bin gantt -- --dump-scenario
 //! ```
+//!
+//! The run is one [`Scenario`] (printable via `--dump-scenario`, swappable
+//! via `--scenario file.json`) with in-memory capture forced on — the Gantt
+//! renderer reads the span trace directly.
 //!
 //! `--trace out.json` writes the run as a Chrome trace-event file (open in
 //! Perfetto or `chrome://tracing`; steals and device-job lineage appear as
@@ -19,24 +24,18 @@
 //! analysis, metrics summary, and balancer-decision digest. `--small`
 //! shrinks the problem for CI.
 
-use cashmere::{build_cluster, ClusterSpec, RuntimeConfig};
-use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
-use cashmere_apps::KernelSet;
-use cashmere_bench::{jobs_from_args, obs_args, paper_sim_config, report_run, ObsCapture, Series};
+use cashmere::ClusterSpec;
+use cashmere_bench::{cli, report_run, run_scenario, AppId, Problem, Scenario, Series};
 use cashmere_des::trace::SpanKind;
 use cashmere_des::{ChromeTrace, SimTime};
 use std::fs;
 use std::path::PathBuf;
 
-fn main() {
-    let (obs, rest) = obs_args(std::env::args().collect());
-    // Accepted for uniformity with the sweep bins; gantt is a single run.
-    let (_jobs, rest) = jobs_from_args(rest);
-    let small = rest.iter().any(|a| a == "--small");
-
-    // A small heterogeneous cluster so the chart stays readable: the two
-    // nodes of the paper's Fig. 16 plus two more GTX480 nodes for realistic
-    // stealing traffic.
+/// The Fig. 16/17 scenario: the two nodes of the paper's figure plus two
+/// more GTX480 nodes for realistic stealing traffic. `small` keeps the
+/// cluster shape (so the trace still shows all node and device lanes plus
+/// steals) at a fraction of the points.
+fn gantt_scenario(small: bool) -> Scenario {
     let spec = ClusterSpec {
         node_devices: vec![
             vec!["gtx480".to_string()],
@@ -45,47 +44,65 @@ fn main() {
             vec!["gtx480".to_string()],
         ],
     };
-    let pr = if small {
-        // CI-sized: same cluster shape (so the trace still shows all node
-        // and device lanes plus steals), a fraction of the points.
-        KmeansProblem {
-            n: 4_000_000,
-            k: 1024,
-            d: 4,
-            iterations: 2,
-        }
+    let (problem, grain, name) = if small {
+        (
+            Problem::Kmeans {
+                n: 4_000_000,
+                k: 1024,
+                d: 4,
+                iterations: 2,
+            },
+            250_000,
+            "gantt-kmeans-small",
+        )
     } else {
-        KmeansProblem {
-            n: 16_000_000,
-            k: 4096,
-            d: 4,
-            iterations: 3,
-        }
+        (
+            Problem::Kmeans {
+                n: 16_000_000,
+                k: 4096,
+                d: 4,
+                iterations: 3,
+            },
+            500_000,
+            "gantt-kmeans",
+        )
     };
-    let grain = if small { 250_000 } else { 500_000 };
-    let app = KmeansApp::phantom(pr, grain, 8);
-    let cents = app.centroids.clone();
-    let mut cfg = paper_sim_config(Series::CashmereOpt, 42);
-    cfg.trace = true;
-    let mut cluster = build_cluster(
-        app,
-        KmeansApp::registry(KernelSet::Optimized),
-        &spec,
-        cfg,
-        RuntimeConfig::default(),
-    )
-    .unwrap();
-    let (_, elapsed) = kmeans::run_iterations(&mut cluster, &pr, &cents, false);
+    Scenario::new(name, AppId::Kmeans, Series::CashmereOpt, &spec)
+        .with_problem(problem)
+        .with_grain(grain)
+        .with_capture(true)
+}
+
+fn main() {
+    let (common, rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
+    let small = rest.iter().any(|a| a == "--small");
+    // Capture stays on regardless of the CLI flags — the renderer needs
+    // the span trace.
+    let sc = cli::apply_overrides(gantt_scenario(small), &common).with_capture(true);
+    if common.dump {
+        cli::dump_scenarios(std::slice::from_ref(&sc));
+        return;
+    }
+    let run = run_scenario(&sc);
+    let cap = run.cap.expect("gantt scenario always captures");
+    let iterations = match sc.problem {
+        Problem::Kmeans { iterations, .. } => iterations,
+        _ => 0,
+    };
     println!(
-        "heterogeneous k-means: {} nodes, {} iterations, {elapsed} virtual time\n",
-        spec.nodes(),
-        pr.iterations
+        "heterogeneous k-means: {} nodes, {} iterations, {:.3}s virtual time\n",
+        sc.nodes.len(),
+        iterations,
+        run.outcome.makespan_s
     );
 
-    let trace = cluster.trace();
+    let trace = &cap.trace;
 
     // Fig. 16: zoom into the first ~1/6 of the run — all activity kinds.
-    let horizon = trace.horizon();
+    let horizon = cap.horizon;
     let window = (SimTime::ZERO, SimTime::from_nanos(horizon.as_nanos() / 6));
     println!("Fig. 16 (zoomed view, first sixth of the run, all activities):\n");
     println!("{}", trace.gantt(Some(window), None).render_ascii(100));
@@ -99,24 +116,24 @@ fn main() {
             .render_ascii(100)
     );
 
-    // The load-balancer observation from the paper's Fig. 16 discussion.
-    let rt = cluster.leaf_runtime();
-    let phi_node = &rt.nodes[1];
+    // The load-balancer observation from the paper's Fig. 16 discussion,
+    // counted from the audit log (every placement is one audit entry).
+    let placed = |device: usize| {
+        cap.audit
+            .iter()
+            .filter(|e| e.node == 1 && e.chosen == Some(device))
+            .count()
+    };
     println!(
         "device jobs on node 1: K20 = {}, Xeon Phi = {} (paper: \"schedules 1 job\n\
          on the Xeon Phi and 7 on the K20 which is the fastest configuration\")\n",
-        phi_node.devices[0].jobs_run, phi_node.devices[1].jobs_run
+        placed(0),
+        placed(1)
     );
 
     // Observability exports: Chrome trace + audit log, critical path.
-    let cap = ObsCapture {
-        trace: trace.clone(),
-        metrics: cluster.metrics().clone(),
-        audit: rt.audit.clone(),
-        horizon,
-    };
-    report_run(&obs, "", &cap);
-    if let Some(path) = &obs.trace_path {
+    report_run(&common.obs, "", &cap);
+    if let Some(path) = &common.obs.trace_path {
         // Round-trip the written file so CI (and users) know the export is
         // valid Chrome trace JSON before feeding it to Perfetto.
         let text = fs::read_to_string(path).expect("trace file just written");

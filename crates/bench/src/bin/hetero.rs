@@ -10,26 +10,31 @@
 //! cargo run --release -p cashmere-bench --bin hetero
 //! cargo run --release -p cashmere-bench --bin hetero -- --jobs 4
 //! cargo run --release -p cashmere-bench --bin hetero -- --faults plan.json
+//! cargo run --release -p cashmere-bench --bin hetero -- --dump-scenario
+//! cargo run --release -p cashmere-bench --bin hetero -- --scenario s.json
 //! ```
 //!
-//! With `--jobs N` the calibration, heterogeneous and homogeneous runs fan
-//! out over N worker threads; every run owns its `Sim` and seed, and output
-//! is assembled in declared order, so results are byte-identical to
-//! `--jobs 1`.
+//! The bin is a preset layer over [`Scenario`]: every calibration,
+//! heterogeneous and homogeneous run is one scenario, all fanned out over
+//! the sweep executor. `--dump-scenario` prints the resolved list instead
+//! of running; `--scenario file.json` runs an arbitrary spec.
+//!
+//! With `--jobs N` the runs fan out over N worker threads; every run owns
+//! its `Sim` and seed, and output is assembled in declared order, so
+//! results are byte-identical to `--jobs 1`.
 //!
 //! With `--faults`, the JSON fault plan (node crashes, device failures,
 //! lossy links, transient launch faults) is injected into the measured
 //! heterogeneous runs and each run's failure accounting is printed; the
-//! single-node calibration runs stay fault-free.
+//! calibration runs stay fault-free.
 //!
 //! With `--trace out.json` each measured heterogeneous run writes a Chrome
-//! trace (`out.<app>.json`) plus a balancer audit log; `--explain` prints
-//! the critical-path and metrics summaries after each run.
+//! trace plus a balancer audit log; `--explain` prints the critical-path
+//! and metrics summaries after each run.
 
 use cashmere::ClusterSpec;
 use cashmere_bench::{
-    fault_plan_from_args, jobs_from_args, obs_args, report_run, run_app, run_app_observed, sweep,
-    write_json, AppId, ObsCapture, RunOutcome, Series, Table,
+    cli, report_run, run_scenario, sweep, write_report, AppId, Scenario, Series, Table,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -61,9 +66,10 @@ fn config_for(app: AppId) -> (ClusterSpec, &'static str) {
     }
 }
 
-/// One independent simulation of the hetero experiment. The calibration
-/// runs (single-node, 16× and 1× GTX480) are fault-free and unobserved;
-/// only the measured heterogeneous run takes the plan and the trace flags.
+/// What each scenario of the experiment feeds: the calibration runs
+/// (single-node per distinct composition, 16× and 1× GTX480) are
+/// fault-free and unobserved; only the measured heterogeneous run takes
+/// the plan and the trace flags.
 #[derive(Clone)]
 enum Job {
     /// Single-node calibration for one distinct node composition.
@@ -77,68 +83,73 @@ enum Job {
 }
 
 fn main() {
-    let (faults, rest) = fault_plan_from_args();
-    let (obs, rest) = obs_args(rest);
-    let (jobs, _rest) = jobs_from_args(rest);
-    println!("Table III + Fig. 15: heterogeneous executions (optimized kernels)\n");
+    let (common, _rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
 
     // Enumerate every run of the experiment up front, in declared order.
-    let mut points = Vec::new();
+    // The `--policy` override reaches every run; `--faults` and the
+    // observability flags only the measured heterogeneous ones.
+    let mut jobs: Vec<(Job, Scenario)> = Vec::new();
+    let policy_only = |mut sc: Scenario| {
+        if let Some(p) = common.policy {
+            sc.policy = p;
+        }
+        sc
+    };
     for app in AppId::ALL {
         let (spec, _) = config_for(app);
         let mut seen: Vec<&Vec<String>> = Vec::new();
         for devs in &spec.node_devices {
             if !seen.contains(&devs) {
                 seen.push(devs);
-                points.push(Job::Single(app, devs.clone()));
-            }
-        }
-        points.push(Job::Hetero(app));
-        points.push(Job::Homo16(app));
-        points.push(Job::Homo1(app));
-    }
-
-    type Out = (RunOutcome, Option<ObsCapture>);
-    let results: Vec<(Job, Out)> = sweep(points, jobs, |job| {
-        let out = match &job {
-            Job::Single(app, devs) => {
                 let one = ClusterSpec {
                     node_devices: vec![devs.clone()],
                 };
-                (run_app(*app, Series::CashmereOpt, &one, 42), None)
+                let sc = Scenario::paper(app, Series::CashmereOpt, &one, 42).named(format!(
+                    "{}-single-{}",
+                    app.token(),
+                    devs.join(".")
+                ));
+                jobs.push((Job::Single(app, devs.clone()), policy_only(sc)));
             }
-            Job::Hetero(app) => {
-                let (spec, _) = config_for(*app);
-                run_app_observed(
-                    *app,
-                    Series::CashmereOpt,
-                    &spec,
-                    42,
-                    faults.clone(),
-                    obs.enabled(),
-                )
-            }
-            Job::Homo16(app) => (
-                run_app(
-                    *app,
-                    Series::CashmereOpt,
-                    &ClusterSpec::homogeneous(16, "gtx480"),
-                    42,
-                ),
-                None,
+        }
+        jobs.push((
+            Job::Hetero(app),
+            cli::apply_overrides(
+                Scenario::paper(app, Series::CashmereOpt, &spec, 42)
+                    .named(format!("{}-hetero", app.token())),
+                &common,
             ),
-            Job::Homo1(app) => (
-                run_app(
-                    *app,
-                    Series::CashmereOpt,
-                    &ClusterSpec::homogeneous(1, "gtx480"),
-                    42,
-                ),
-                None,
-            ),
-        };
-        (job, out)
-    });
+        ));
+        jobs.push((
+            Job::Homo16(app),
+            policy_only(Scenario::paper(
+                app,
+                Series::CashmereOpt,
+                &ClusterSpec::homogeneous(16, "gtx480"),
+                42,
+            )),
+        ));
+        jobs.push((
+            Job::Homo1(app),
+            policy_only(Scenario::paper(
+                app,
+                Series::CashmereOpt,
+                &ClusterSpec::homogeneous(1, "gtx480"),
+                42,
+            )),
+        ));
+    }
+    let scenarios: Vec<Scenario> = jobs.iter().map(|(_, sc)| sc.clone()).collect();
+    if common.dump {
+        cli::dump_scenarios(&scenarios);
+        return;
+    }
+    println!("Table III + Fig. 15: heterogeneous executions (optimized kernels)\n");
+
+    let results = sweep(jobs, common.jobs, |(job, sc)| (job, run_scenario(&sc)));
 
     let mut json = Vec::new();
     let mut t3 = Table::new(&["application", "GFLOPS", "configuration"]);
@@ -150,22 +161,22 @@ fn main() {
 
     // Reassemble per app, consuming the results in declared order.
     let mut single: HashMap<(AppId, Vec<String>), f64> = HashMap::new();
-    let mut hetero_runs: HashMap<AppId, Out> = HashMap::new();
+    let mut hetero_runs = HashMap::new();
     let mut homo16_runs: HashMap<AppId, f64> = HashMap::new();
     let mut homo1_runs: HashMap<AppId, f64> = HashMap::new();
-    for (job, (r, cap)) in results {
+    for (job, run) in results {
         match job {
             Job::Single(app, devs) => {
-                single.insert((app, devs), r.gflops);
+                single.insert((app, devs), run.outcome.gflops);
             }
             Job::Hetero(app) => {
-                hetero_runs.insert(app, (r, cap));
+                hetero_runs.insert(app, run);
             }
             Job::Homo16(app) => {
-                homo16_runs.insert(app, r.gflops);
+                homo16_runs.insert(app, run.outcome.gflops);
             }
             Job::Homo1(app) => {
-                homo1_runs.insert(app, r.gflops);
+                homo1_runs.insert(app, run.outcome.gflops);
             }
         }
     }
@@ -177,7 +188,8 @@ fn main() {
             .iter()
             .map(|d| single[&(app, d.clone())])
             .sum();
-        let (hetero, cap) = &hetero_runs[&app];
+        let run = &hetero_runs[&app];
+        let hetero = &run.outcome;
         if let Some(f) = &hetero.failure_summary {
             println!("{} under injected faults:", app.name());
             for line in f.lines() {
@@ -185,8 +197,8 @@ fn main() {
             }
             println!();
         }
-        if let Some(cap) = cap {
-            report_run(&obs, app.name(), cap);
+        if let Some(cap) = &run.cap {
+            report_run(&common.obs, app.name(), cap);
         }
         let hetero_eff = hetero.gflops / attainable;
         let homo_eff = homo16_runs[&app] / (16.0 * homo1_runs[&app]);
@@ -215,7 +227,7 @@ fn main() {
     println!("{}", t3.render());
     println!("Fig. 15: efficiency of heterogeneous executions\n");
     println!("{}", f15.render());
-    write_json("table3_fig15_hetero", &json);
+    write_report("table3_fig15_hetero", &scenarios, &json);
     println!(
         "expected shape (paper): >90% efficiency for three of the four\n\
          applications, matmul lower (network-bound); heterogeneous efficiency\n\

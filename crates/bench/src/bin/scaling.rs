@@ -8,24 +8,31 @@
 //! cargo run --release -p cashmere-bench --bin scaling -- matmul    # one app
 //! cargo run --release -p cashmere-bench --bin scaling -- --jobs 4
 //! cargo run --release -p cashmere-bench --bin scaling -- --faults plan.json
+//! cargo run --release -p cashmere-bench --bin scaling -- --dump-scenario
+//! cargo run --release -p cashmere-bench --bin scaling -- --scenario s.json
 //! ```
 //!
-//! With `--jobs N` the app × series × node-count points run on N worker
-//! threads; output is reassembled in declared order so it is byte-identical
-//! to `--jobs 1` (each point owns its `Sim` and seed).
+//! The bin is a thin preset layer: it constructs one [`Scenario`] per
+//! (app, series, nodes) point and fans them out over the sweep executor.
+//! `--dump-scenario` prints the resolved scenario list instead of running;
+//! `--scenario file.json` runs an arbitrary spec through the same driver.
+//!
+//! With `--jobs N` the points run on N worker threads; output is
+//! reassembled in declared order so it is byte-identical to `--jobs 1`
+//! (each point owns its `Sim` and seed).
 //!
 //! With `--faults`, the JSON fault plan is injected into every run it
 //! validates for (a plan crashing node 2 skips the 1- and 2-node runs) and
 //! each affected run's failure accounting is printed under its row.
 //!
 //! With `--trace out.json`, every run writes a Chrome trace + balancer
-//! audit log (`out.<app>.<series>.<n>n.json`); `--explain` prints each
-//! run's critical-path and metrics summaries.
+//! audit log; `--explain` prints each run's critical-path and metrics
+//! summaries.
 
 use cashmere::ClusterSpec;
 use cashmere_bench::{
-    fault_plan_from_args, jobs_from_args, obs_args, report_run, run_app_observed, sweep,
-    write_json, AppId, ObsArgs, ObsCapture, RunOutcome, Series, Table,
+    cli, report_run, run_scenario, sweep, write_report, AppId, ObsArgs, Scenario, ScenarioRun,
+    Series, Table,
 };
 use serde::Serialize;
 
@@ -56,7 +63,7 @@ fn figure_number(app: AppId) -> (&'static str, &'static str) {
 fn report_one(
     app: AppId,
     obs: &ObsArgs,
-    results: &[(AppId, Series, usize, RunOutcome, Option<ObsCapture>)],
+    results: &[(&Scenario, ScenarioRun)],
     json: &mut Vec<Point>,
 ) {
     let (fig_scal, fig_abs) = figure_number(app);
@@ -65,38 +72,38 @@ fn report_one(
         app.name()
     );
     let mut t = Table::new(&["series", "nodes", "makespan", "speedup", "GFLOPS", "steals"]);
-    let mut base: Option<(Series, f64)> = None;
-    for (_, series, nodes, r, cap) in results {
+    let mut base: Option<(String, f64)> = None;
+    for (sc, run) in results {
+        let r = &run.outcome;
         if let Some(f) = &r.failure_summary {
             for line in f.lines() {
-                println!("    [{} n={nodes}] {line}", series.name());
+                println!("    [{} n={}] {line}", r.series, r.nodes);
             }
         }
-        if let Some(cap) = cap {
-            let label = format!("{}.{}.{}n", app.name(), series.name(), nodes);
-            report_run(obs, &label, cap);
+        if let Some(cap) = &run.cap {
+            report_run(obs, &sc.name, cap);
         }
         // Speedup baseline is the first (1-node) run of each series.
-        let b = match base {
-            Some((s, b)) if s == *series => b,
+        let b = match &base {
+            Some((s, b)) if *s == r.series => *b,
             _ => {
-                base = Some((*series, r.makespan_s));
+                base = Some((r.series.clone(), r.makespan_s));
                 r.makespan_s
             }
         };
         let speedup = b / r.makespan_s;
         t.row(vec![
-            series.name().to_string(),
-            nodes.to_string(),
+            r.series.clone(),
+            r.nodes.to_string(),
             format!("{:.2}s", r.makespan_s),
             format!("{speedup:.2}"),
             format!("{:.0}", r.gflops),
             r.steals_ok.to_string(),
         ]);
         json.push(Point {
-            app: app.name().to_string(),
-            series: series.name().to_string(),
-            nodes: *nodes,
+            app: r.app.clone(),
+            series: r.series.clone(),
+            nodes: r.nodes,
             makespan_s: r.makespan_s,
             speedup,
             gflops: r.gflops,
@@ -107,9 +114,10 @@ fn report_one(
 }
 
 fn main() {
-    let (faults, rest) = fault_plan_from_args();
-    let (obs, rest) = obs_args(rest);
-    let (jobs, rest) = jobs_from_args(rest);
+    let (common, rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
     let arg = rest.get(1).cloned();
     let apps: Vec<AppId> = match arg.as_deref() {
         None => AppId::ALL.to_vec(),
@@ -121,27 +129,32 @@ fn main() {
             }
         },
     };
-    // Every (app, series, nodes) point is an independent simulation; fan
+    // Every (app, series, nodes) point is an independent scenario; fan
     // them all out and reassemble in declared order.
-    let mut points = Vec::new();
+    let mut scenarios = Vec::new();
     for app in &apps {
         for series in Series::ALL {
             for nodes in NODE_COUNTS {
-                points.push((*app, series, nodes));
+                let spec = ClusterSpec::homogeneous(nodes, "gtx480");
+                scenarios.push(cli::apply_overrides(
+                    Scenario::paper(*app, series, &spec, 42),
+                    &common,
+                ));
             }
         }
     }
-    let results = sweep(points, jobs, |(app, series, nodes)| {
-        let spec = ClusterSpec::homogeneous(nodes, "gtx480");
-        let (r, cap) = run_app_observed(app, series, &spec, 42, faults.clone(), obs.enabled());
-        (app, series, nodes, r, cap)
-    });
+    if common.dump {
+        cli::dump_scenarios(&scenarios);
+        return;
+    }
+    let results = sweep(scenarios.clone(), common.jobs, |sc| run_scenario(&sc));
+    let results: Vec<(&Scenario, ScenarioRun)> = scenarios.iter().zip(results).collect();
     let mut json = Vec::new();
     let per_app = Series::ALL.len() * NODE_COUNTS.len();
     for (i, app) in apps.iter().enumerate() {
         report_one(
             *app,
-            &obs,
+            &common.obs,
             &results[i * per_app..(i + 1) * per_app],
             &mut json,
         );
@@ -150,11 +163,11 @@ fn main() {
     // four-app dataset.
     let name = match &apps[..] {
         [one] if apps.len() != AppId::ALL.len() => {
-            format!("fig7_14_scaling_{}", one.name().replace('-', ""))
+            format!("fig7_14_scaling_{}", one.token())
         }
         _ => "fig7_14_scaling".to_string(),
     };
-    write_json(&name, &json);
+    write_report(&name, &scenarios, &json);
     println!(
         "expected shape (paper): Cashmere scales at least as well as Satin at\n\
          ~an order of magnitude higher absolute performance; optimized matmul\n\

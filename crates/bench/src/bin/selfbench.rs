@@ -6,7 +6,13 @@
 //! cargo run --release -p cashmere-bench --bin selfbench
 //! cargo run --release -p cashmere-bench --bin selfbench -- --quick
 //! cargo run --release -p cashmere-bench --bin selfbench -- --quick --check
+//! cargo run --release -p cashmere-bench --bin selfbench -- --dump-scenario
 //! ```
+//!
+//! The shared `--scenario file.json` flag runs an arbitrary cluster
+//! scenario through the common driver; `--dump-scenario` prints the
+//! in-process scaling sweep's resolved specs (the engine microbenchmarks
+//! are not cluster runs and have none).
 //!
 //! Measured quantities:
 //!
@@ -26,7 +32,9 @@
 
 use cashmere::ClusterSpec;
 use cashmere_apps::KernelSet;
-use cashmere_bench::{default_jobs, kernel_gflops, run_app, sweep, AppId, Series};
+use cashmere_bench::{
+    cli, default_jobs, kernel_gflops, run_scenario, sweep, AppId, Scenario, Series,
+};
 use cashmere_des::{Sim, SimTime};
 use cashmere_hwdesc::DeviceKind;
 use serde::{Deserialize, Serialize};
@@ -179,12 +187,22 @@ fn scaling_points(quick: bool) -> Vec<(Series, usize)> {
     points
 }
 
+/// The in-process scaling sweep, phrased as [`Scenario`]s — the same specs
+/// a `--dump-scenario` prints.
+fn sweep_scenarios(points: &[(Series, usize)]) -> Vec<Scenario> {
+    points
+        .iter()
+        .map(|&(series, nodes)| {
+            let spec = ClusterSpec::homogeneous(nodes, "gtx480");
+            Scenario::paper(AppId::Kmeans, series, &spec, 42)
+        })
+        .collect()
+}
+
 fn run_sweep(points: &[(Series, usize)], jobs: usize) -> f64 {
+    let scenarios = sweep_scenarios(points);
     let t0 = Instant::now();
-    let out = sweep(points.to_vec(), jobs, |(series, nodes)| {
-        let spec = ClusterSpec::homogeneous(nodes, "gtx480");
-        run_app(AppId::Kmeans, series, &spec, 42).makespan_s
-    });
+    let out = sweep(scenarios, jobs, |sc| run_scenario(&sc).outcome.makespan_s);
     black_box(out);
     t0.elapsed().as_secs_f64()
 }
@@ -207,13 +225,14 @@ fn measure_sweep(quick: bool) -> SweepNumbers {
 }
 
 fn measure_bins(quick: bool) -> BinNumbers {
-    let t0 = Instant::now();
-    let _ = run_app(
+    let sc = Scenario::paper(
         AppId::Kmeans,
         Series::CashmereOpt,
         &ClusterSpec::homogeneous(if quick { 4 } else { 16 }, "gtx480"),
         42,
     );
+    let t0 = Instant::now();
+    let _ = run_scenario(&sc);
     let scaling_wall = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
     for app in AppId::ALL {
@@ -237,9 +256,18 @@ fn bench_path() -> PathBuf {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let check = args.iter().any(|a| a == "--check");
+    let (common, rest) = cli::common_args();
+    if cli::handle_scenario(&common) {
+        return;
+    }
+    let quick = rest.iter().any(|a| a == "--quick");
+    let check = rest.iter().any(|a| a == "--check");
+    if common.dump {
+        // The engine microbenchmarks are not cluster runs; the in-process
+        // scaling sweep is, so that is what a dump shows.
+        cli::dump_scenarios(&sweep_scenarios(&scaling_points(quick)));
+        return;
+    }
     let path = bench_path();
 
     // Read the committed baseline *before* overwriting it.

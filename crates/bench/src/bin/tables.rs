@@ -124,11 +124,18 @@ fn fig2() {
 }
 
 fn main() {
-    let (obs, rest) = cashmere_bench::obs_args(std::env::args().collect());
-    // Accepted for uniformity with the sweep bins; there is only one
-    // "point" here, so the flag has nothing to parallelize.
-    let (_jobs, rest) = cashmere_bench::jobs_from_args(rest);
-    if obs.enabled() {
+    // The shared flags are accepted for uniformity with the sweep bins;
+    // `--scenario file.json` runs an arbitrary cluster scenario through
+    // the shared driver, everything else has nothing to act on here.
+    let (common, rest) = cashmere_bench::cli::common_args();
+    if cashmere_bench::cli::handle_scenario(&common) {
+        return;
+    }
+    if common.dump {
+        println!("note: tables prints static data — no cluster scenarios to dump");
+        return;
+    }
+    if common.obs.enabled() {
         // The tables are static reproductions (TOP500 background, app
         // classes, hierarchy) — no simulation runs, nothing to trace.
         println!("note: tables prints static data; --trace/--explain have no effect here\n");

@@ -18,13 +18,16 @@ pub mod advisor;
 pub mod obs;
 pub mod output;
 pub mod runners;
+pub mod scenario;
 pub mod sweep;
 
-pub use advisor::{advise, AdvisorJson, AdvisorRun, CounterfactualSummary, PerturbSet};
-pub use obs::{labeled_path, obs_args, report_run, ObsArgs, ObsCapture};
-pub use output::{write_json, Table};
-pub use runners::{
-    fault_plan_from_args, kernel_gflops, load_fault_plan, paper_sim_config, run_app,
-    run_app_observed, run_app_perturbed, run_app_with_faults, AppId, RunOutcome, Series,
+pub use advisor::{
+    advise, AdvisorFull, AdvisorJson, AdvisorRun, CounterfactualSummary, LaneSummary, PerturbSet,
+    UtilizationSummary,
 };
+pub use obs::{labeled_path, obs_args, report_run, ObsArgs, ObsCapture};
+pub use output::{write_json, write_report, Table};
+pub use runners::{kernel_gflops, AppId, RunOutcome, Series};
+pub use scenario::cli::{self, load_fault_plan, CommonArgs};
+pub use scenario::{run_scenario, Problem, Scenario, ScenarioReport, ScenarioRun};
 pub use sweep::{default_jobs, jobs_from_args, sweep, sweep_fns};

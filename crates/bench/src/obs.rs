@@ -37,9 +37,10 @@ impl ObsArgs {
     }
 }
 
-/// Split `--trace <path>` and `--explain` out of `args` (argv[0] included,
-/// as returned by [`crate::fault_plan_from_args`]). Exits with a message
-/// when `--trace` lacks its path.
+/// Split `--trace <path>` and `--explain` out of `args` (argv[0]
+/// included). Usually reached through [`crate::cli::common_args`], which
+/// folds these flags into the shared [`crate::CommonArgs`]. Exits with a
+/// message when `--trace` lacks its path.
 pub fn obs_args(args: Vec<String>) -> (ObsArgs, Vec<String>) {
     let mut obs = ObsArgs::default();
     let mut rest = Vec::new();

@@ -1,5 +1,6 @@
 //! Table printing and JSON output for the harness binaries.
 
+use crate::scenario::Scenario;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -78,6 +79,46 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         },
         Err(e) => eprintln!("warning: serialize {name}: {e}"),
     }
+}
+
+/// The shape every provenance-bearing artifact shares: the resolved
+/// scenarios that produced the data, then the data itself. Re-running any
+/// provenance entry through `run_scenario` reproduces its rows
+/// byte-identically.
+struct Report<'a, T: Serialize> {
+    schema: u32,
+    /// Resolved scenarios in declared run order, outputs stripped (the
+    /// observability flags of the generating invocation are not part of
+    /// the experiment).
+    provenance: Vec<Scenario>,
+    data: &'a T,
+}
+
+// Hand-written: the shim's derive rejects generic types.
+impl<T: Serialize> Serialize for Report<'_, T> {
+    fn to_content(&self) -> serde::Content {
+        use serde::Content;
+        Content::Map(vec![
+            (Content::Str("schema".to_string()), self.schema.to_content()),
+            (
+                Content::Str("provenance".to_string()),
+                self.provenance.to_content(),
+            ),
+            (Content::Str("data".to_string()), self.data.to_content()),
+        ])
+    }
+}
+
+/// [`write_json`] with a provenance block: the JSON artifact embeds the
+/// resolved scenarios that produced it, so any published number can be
+/// re-run from the output file alone.
+pub fn write_report<T: Serialize>(name: &str, scenarios: &[Scenario], data: &T) {
+    let report = Report {
+        schema: 1,
+        provenance: scenarios.iter().map(Scenario::provenance_form).collect(),
+        data,
+    };
+    write_json(name, &report);
 }
 
 #[cfg(test)]

@@ -1,34 +1,50 @@
-//! Shared experiment glue: build and run any of the four applications at
-//! paper scale, in any of the three measurement series, on any cluster.
+//! Shared experiment vocabulary: applications, measurement series, run
+//! outcomes, and the Fig. 6 kernel-only measurement.
 //!
-//! Grain choices (node-level jobs ≈ 64, device jobs = 8 per leaf, Satin
+//! Cluster execution lives in [`crate::scenario`]: every bench bin builds
+//! [`crate::scenario::Scenario`] values and hands them to
+//! [`crate::scenario::run_scenario`].
+//!
+//! Grain choices (node-level jobs ≈ 1024, device jobs = 8 per leaf, Satin
 //! leaves 8× finer) mirror the paper's setup: "Satin has more overhead in
 //! job creation because it needs to create 8 times more jobs to keep one
 //! node busy" (Sec. V-B).
 
-use crate::advisor::PerturbSet;
-use crate::obs::ObsCapture;
-use cashmere::{build_cluster, AuditEntry, CashmereLeafRuntime, ClusterSpec, RuntimeConfig};
-use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
+use cashmere_apps::kmeans::{KmeansApp, KmeansProblem};
 use cashmere_apps::matmul::{MatmulApp, MatmulProblem};
-use cashmere_apps::nbody::{self, NbodyApp, NbodyProblem};
+use cashmere_apps::nbody::{NbodyApp, NbodyProblem};
 use cashmere_apps::raytracer::{RaytracerApp, RaytracerProblem};
 use cashmere_apps::{AppMode, KernelSet};
-use cashmere_des::fault::FaultPlan;
 use cashmere_devsim::{ExecMode, SimDevice};
 use cashmere_hwdesc::DeviceKind;
 use cashmere_mcl::interp::Sampling;
-use cashmere_satin::{ClusterApp, ClusterSim, LeafRuntime, RunReport, SimConfig};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// The four applications (Table II order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppId {
     Raytracer,
     Matmul,
     Kmeans,
     Nbody,
+}
+
+// Hand-written so the JSON form is the stable CLI token (`raytracer`,
+// `matmul`, `kmeans`, `nbody`), with the paper's display spellings
+// (`k-means`, `n-body`) accepted on input via [`AppId::parse`].
+impl Serialize for AppId {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.token().to_string())
+    }
+}
+
+impl Deserialize for AppId {
+    fn from_content(content: &serde::Content) -> Result<AppId, serde::DeError> {
+        match content.as_str() {
+            Some(s) => AppId::parse(s).ok_or_else(|| serde::DeError::unknown_variant(s, "AppId")),
+            None => Err(serde::DeError::expected("string", "AppId", content)),
+        }
+    }
 }
 
 impl AppId {
@@ -40,6 +56,17 @@ impl AppId {
             AppId::Matmul => "matmul",
             AppId::Kmeans => "k-means",
             AppId::Nbody => "n-body",
+        }
+    }
+
+    /// The undashed CLI/JSON token (`kmeans` where [`AppId::name`] says
+    /// `k-means`).
+    pub fn token(self) -> &'static str {
+        match self {
+            AppId::Raytracer => "raytracer",
+            AppId::Matmul => "matmul",
+            AppId::Kmeans => "kmeans",
+            AppId::Nbody => "nbody",
         }
     }
 
@@ -55,11 +82,28 @@ impl AppId {
 }
 
 /// The paper's three measurement series (Sec. IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Series {
     Satin,
     CashmereUnopt,
     CashmereOpt,
+}
+
+// Hand-written: the JSON form is [`Series::name`] (`satin`,
+// `cashmere-unopt`, `cashmere-opt`).
+impl Serialize for Series {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Series {
+    fn from_content(content: &serde::Content) -> Result<Series, serde::DeError> {
+        match content.as_str() {
+            Some(s) => Series::parse(s).ok_or_else(|| serde::DeError::unknown_variant(s, "Series")),
+            None => Err(serde::DeError::expected("string", "Series", content)),
+        }
+    }
 }
 
 impl Series {
@@ -72,10 +116,14 @@ impl Series {
             Series::CashmereOpt => "cashmere-opt",
         }
     }
+
+    pub fn parse(s: &str) -> Option<Series> {
+        Series::ALL.into_iter().find(|x| x.name() == s)
+    }
 }
 
 /// Result of one measured run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     pub app: String,
     pub series: String,
@@ -97,7 +145,7 @@ pub struct RunOutcome {
 /// heterogeneous configurations; matmul uses ≈256 taller jobs because each
 /// device job re-ships a `B` column panel, so smaller jobs would multiply
 /// PCIe traffic.
-fn node_grain(app: AppId) -> u64 {
+pub(crate) fn node_grain(app: AppId) -> u64 {
     match app {
         AppId::Raytracer => RaytracerProblem::paper().pixels() / 1024,
         AppId::Matmul => 128,     // 32768 rows / 128 = 256 jobs
@@ -106,390 +154,13 @@ fn node_grain(app: AppId) -> u64 {
     }
 }
 
-const DEVICE_JOBS: u64 = 8;
+pub(crate) const DEVICE_JOBS: u64 = 8;
 
-/// Cluster engine configuration used by all paper experiments.
-pub fn paper_sim_config(series: Series, seed: u64) -> SimConfig {
-    SimConfig {
-        cores_per_node: 8,
-        seed,
-        // Cashmere pipelines two sets of device jobs per node (kernels of
-        // one overlap transfers of the other); Satin leaves are one-core
-        // jobs, so every core may run one.
-        max_concurrent_leaves: match series {
-            Series::Satin => usize::MAX,
-            _ => 2,
-        },
-        // Ibis/Satin's steal round trip on QDR IB is tens of microseconds;
-        // a 50 µs retry keeps fast devices fed on heterogeneous clusters.
-        steal_retry: cashmere_des::SimTime::from_micros(50),
-        ..SimConfig::default()
-    }
-}
-
-fn kernel_set(series: Series) -> KernelSet {
+pub(crate) fn kernel_set(series: Series) -> KernelSet {
     match series {
         Series::CashmereOpt => KernelSet::Optimized,
         _ => KernelSet::Unoptimized,
     }
-}
-
-/// Load a fault plan from a JSON file (the bench bins' `--faults` flag).
-pub fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
-}
-
-/// Split `--faults <plan.json>` out of argv. Returns the loaded plan (empty
-/// when the flag is absent) and the remaining arguments, argv[0] included.
-/// Exits with a message on a missing or unreadable plan.
-pub fn fault_plan_from_args() -> (FaultPlan, Vec<String>) {
-    let mut rest = Vec::new();
-    let mut plan = FaultPlan::default();
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--faults" {
-            let Some(path) = args.next() else {
-                eprintln!("--faults requires a path to a JSON fault plan");
-                std::process::exit(2);
-            };
-            match load_fault_plan(&path) {
-                Ok(p) => plan = p,
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            rest.push(a);
-        }
-    }
-    (plan, rest)
-}
-
-fn failures_of(r: &RunReport) -> Option<String> {
-    r.saw_failures().then(|| r.failure_summary())
-}
-
-/// Clone the observability exports (span trace, metrics, audit log) out of
-/// a finished run, when observing.
-fn capture_of<A: ClusterApp, L: LeafRuntime<A>>(
-    on: bool,
-    cs: &ClusterSim<A, L>,
-    audit: Vec<AuditEntry>,
-) -> Option<ObsCapture> {
-    on.then(|| ObsCapture {
-        trace: cs.trace().clone(),
-        metrics: cs.metrics().clone(),
-        audit,
-        horizon: cs.trace().horizon(),
-    })
-}
-
-/// Run one application in one series on the given cluster; phantom mode,
-/// paper problem sizes.
-pub fn run_app(app: AppId, series: Series, spec: &ClusterSpec, seed: u64) -> RunOutcome {
-    run_app_with_faults(app, series, spec, seed, FaultPlan::default())
-}
-
-/// [`run_app`] with an injected fault plan.
-pub fn run_app_with_faults(
-    app: AppId,
-    series: Series,
-    spec: &ClusterSpec,
-    seed: u64,
-    faults: FaultPlan,
-) -> RunOutcome {
-    run_app_observed(app, series, spec, seed, faults, false).0
-}
-
-/// [`run_app`] with an injected fault plan and optional observability:
-/// when `observe` is set the run executes with tracing on and returns the
-/// captured span trace, metrics, and balancer audit log alongside the
-/// outcome. Fault plans that do not validate for this cluster size (e.g.
-/// crashing a node the spec does not have) are skipped with a note, so one
-/// plan can ride through a whole node sweep.
-pub fn run_app_observed(
-    app: AppId,
-    series: Series,
-    spec: &ClusterSpec,
-    seed: u64,
-    faults: FaultPlan,
-    observe: bool,
-) -> (RunOutcome, Option<ObsCapture>) {
-    run_app_perturbed(app, series, spec, seed, faults, observe, None)
-}
-
-/// Apply the advisor's per-device perturbations to a freshly built Cashmere
-/// cluster, before the run starts.
-fn perturb_runtime<A: ClusterApp>(
-    cs: &mut ClusterSim<A, CashmereLeafRuntime>,
-    perturb: Option<&PerturbSet>,
-) where
-    CashmereLeafRuntime: LeafRuntime<A>,
-{
-    if let Some(p) = perturb {
-        p.apply_runtime(cs.leaf_runtime_mut());
-    }
-}
-
-/// [`run_app_observed`] under an advisor perturbation: the cluster-wide
-/// factors (network, steal pacing) are scaled into the engine config and
-/// the per-device ones (compute speed, PCIe, balancer table) into the
-/// Cashmere runtime before the run, so the whole deterministic simulation
-/// re-executes in the virtually scaled world. Satin runs only honor the
-/// cluster-wide targets (they have no devices).
-pub fn run_app_perturbed(
-    app: AppId,
-    series: Series,
-    spec: &ClusterSpec,
-    seed: u64,
-    faults: FaultPlan,
-    observe: bool,
-    perturb: Option<&PerturbSet>,
-) -> (RunOutcome, Option<ObsCapture>) {
-    let mut cfg = paper_sim_config(series, seed);
-    cfg.trace = observe;
-    match faults.validate(spec.nodes()) {
-        Ok(()) => cfg.faults = faults,
-        Err(e) => {
-            if !faults.is_empty() {
-                eprintln!(
-                    "note: fault plan skipped for the {}-node {} run: {e}",
-                    spec.nodes(),
-                    series.name()
-                );
-            }
-        }
-    }
-    if let Some(p) = perturb {
-        p.apply_sim_config(&mut cfg);
-    }
-    let cfg = cfg;
-    let rt_cfg = RuntimeConfig::default();
-    let grain = node_grain(app);
-    // Satin: leaves sized for a single core (8× more jobs per node).
-    let satin_grain = (grain / 8).max(1);
-
-    let (makespan_s, total_flops, kernels, fallbacks, steals, bytes, failures, cap) = match app {
-        AppId::Raytracer => {
-            let pr = RaytracerProblem::paper();
-            match series {
-                Series::Satin => {
-                    let a = Arc::new(RaytracerApp::new(pr, AppMode::Phantom, satin_grain, 1));
-                    let rt = a.satin_runtime();
-                    let app2 = RaytracerApp::new(pr, AppMode::Phantom, satin_grain, 1);
-                    let mut cs = ClusterSim::new(
-                        app2,
-                        rt,
-                        SimConfig {
-                            nodes: spec.nodes(),
-                            ..cfg
-                        },
-                    );
-                    let _ = cs.run_root((0, pr.pixels()));
-                    let r = cs.report();
-                    (
-                        r.makespan.as_secs_f64(),
-                        pr.flops(),
-                        0,
-                        0,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, Vec::new()),
-                    )
-                }
-                _ => {
-                    let a = RaytracerApp::new(pr, AppMode::Phantom, grain, DEVICE_JOBS);
-                    let reg = RaytracerApp::registry(kernel_set(series));
-                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
-                    perturb_runtime(&mut cs, perturb);
-                    let _ = cs.run_root((0, pr.pixels()));
-                    let (r, l) = (cs.report(), cs.leaf_runtime());
-                    (
-                        r.makespan.as_secs_f64(),
-                        pr.flops(),
-                        l.kernels_run,
-                        l.cpu_fallbacks,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, l.audit.clone()),
-                    )
-                }
-            }
-        }
-        AppId::Matmul => {
-            let pr = MatmulProblem::paper();
-            match series {
-                Series::Satin => {
-                    let a = MatmulApp::phantom(pr, satin_grain, 1);
-                    let root = a.row_job(0, pr.n);
-                    let rt = a.satin_runtime();
-                    let mut cs = ClusterSim::new(
-                        a,
-                        rt,
-                        SimConfig {
-                            nodes: spec.nodes(),
-                            ..cfg
-                        },
-                    );
-                    // Strong scaling includes distributing B to every node —
-                    // the O(n²) traffic that makes matmul communication-heavy.
-                    let start = cs.now();
-                    cs.broadcast(pr.p * pr.m * 4);
-                    let bcast = (cs.now() - start).as_secs_f64();
-                    let _ = cs.run_root(root);
-                    let r = cs.report();
-                    (
-                        bcast + r.makespan.as_secs_f64(),
-                        pr.flops(),
-                        0,
-                        0,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, Vec::new()),
-                    )
-                }
-                _ => {
-                    let a = MatmulApp::phantom(pr, grain, DEVICE_JOBS);
-                    let root = a.row_job(0, pr.n);
-                    let reg = MatmulApp::registry(kernel_set(series));
-                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
-                    perturb_runtime(&mut cs, perturb);
-                    let start = cs.now();
-                    cs.broadcast(pr.p * pr.m * 4);
-                    let bcast = (cs.now() - start).as_secs_f64();
-                    let _ = cs.run_root(root);
-                    let (r, l) = (cs.report(), cs.leaf_runtime());
-                    (
-                        bcast + r.makespan.as_secs_f64(),
-                        pr.flops(),
-                        l.kernels_run,
-                        l.cpu_fallbacks,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, l.audit.clone()),
-                    )
-                }
-            }
-        }
-        AppId::Kmeans => {
-            let pr = KmeansProblem::paper();
-            match series {
-                Series::Satin => {
-                    let a = Arc::new(KmeansApp::phantom(pr, satin_grain, 1));
-                    let rt = a.satin_runtime();
-                    let app2 = KmeansApp::phantom(pr, satin_grain, 1);
-                    let cents = app2.centroids.clone();
-                    let mut cs = ClusterSim::new(
-                        app2,
-                        rt,
-                        SimConfig {
-                            nodes: spec.nodes(),
-                            ..cfg
-                        },
-                    );
-                    let (_, elapsed) = kmeans::run_iterations(&mut cs, &pr, &cents, false);
-                    let r = cs.report();
-                    (
-                        elapsed.as_secs_f64(),
-                        pr.total_flops(),
-                        0,
-                        0,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, Vec::new()),
-                    )
-                }
-                _ => {
-                    let a = KmeansApp::phantom(pr, grain, DEVICE_JOBS);
-                    let cents = a.centroids.clone();
-                    let reg = KmeansApp::registry(kernel_set(series));
-                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
-                    perturb_runtime(&mut cs, perturb);
-                    let (_, elapsed) = kmeans::run_iterations(&mut cs, &pr, &cents, false);
-                    let (r, l) = (cs.report(), cs.leaf_runtime());
-                    (
-                        elapsed.as_secs_f64(),
-                        pr.total_flops(),
-                        l.kernels_run,
-                        l.cpu_fallbacks,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, l.audit.clone()),
-                    )
-                }
-            }
-        }
-        AppId::Nbody => {
-            let pr = NbodyProblem::paper();
-            match series {
-                Series::Satin => {
-                    let a = Arc::new(NbodyApp::phantom(pr, satin_grain, 1));
-                    let rt = a.satin_runtime();
-                    let app2 = NbodyApp::phantom(pr, satin_grain, 1);
-                    let mut cs = ClusterSim::new(
-                        app2,
-                        rt,
-                        SimConfig {
-                            nodes: spec.nodes(),
-                            ..cfg
-                        },
-                    );
-                    let elapsed = nbody::run_iterations(&mut cs, &pr, |_| {});
-                    let r = cs.report();
-                    (
-                        elapsed.as_secs_f64(),
-                        pr.total_flops(),
-                        0,
-                        0,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, Vec::new()),
-                    )
-                }
-                _ => {
-                    let a = NbodyApp::phantom(pr, grain, DEVICE_JOBS);
-                    let reg = NbodyApp::registry(kernel_set(series));
-                    let mut cs = build_cluster(a, reg, spec, cfg, rt_cfg).unwrap();
-                    perturb_runtime(&mut cs, perturb);
-                    let elapsed = nbody::run_iterations(&mut cs, &pr, |_| {});
-                    let (r, l) = (cs.report(), cs.leaf_runtime());
-                    (
-                        elapsed.as_secs_f64(),
-                        pr.total_flops(),
-                        l.kernels_run,
-                        l.cpu_fallbacks,
-                        r.steals_ok,
-                        r.bytes_total(),
-                        failures_of(r),
-                        capture_of(observe, &cs, l.audit.clone()),
-                    )
-                }
-            }
-        }
-    };
-
-    let outcome = RunOutcome {
-        app: app.name().to_string(),
-        series: series.name().to_string(),
-        nodes: spec.nodes(),
-        makespan_s,
-        gflops: total_flops / makespan_s / 1e9,
-        kernels_run: kernels,
-        cpu_fallbacks: fallbacks,
-        steals_ok: steals,
-        network_bytes: bytes,
-        failure_summary: failures,
-    };
-    (outcome, cap)
 }
 
 /// Fig. 6 measurement: kernel execution time alone (no transfers) for one
@@ -567,6 +238,27 @@ mod tests {
         assert_eq!(AppId::parse("K-MEANS"), Some(AppId::Kmeans));
         assert_eq!(AppId::parse("bogus"), None);
         assert_eq!(Series::ALL.len(), 3);
+        assert_eq!(Series::parse("cashmere-opt"), Some(Series::CashmereOpt));
+    }
+
+    #[test]
+    fn ids_serialize_kebab_case() {
+        assert_eq!(
+            serde_json::to_string(&AppId::Kmeans).unwrap(),
+            r#""kmeans""#
+        );
+        assert_eq!(
+            serde_json::from_str::<AppId>(r#""k-means""#).unwrap(),
+            AppId::Kmeans
+        );
+        assert_eq!(
+            serde_json::to_string(&Series::CashmereUnopt).unwrap(),
+            r#""cashmere-unopt""#
+        );
+        assert_eq!(
+            serde_json::from_str::<Series>(r#""satin""#).unwrap(),
+            Series::Satin
+        );
     }
 
     #[test]
@@ -575,24 +267,5 @@ mod tests {
         let opt = kernel_gflops(AppId::Matmul, KernelSet::Optimized, DeviceKind::Gtx480).unwrap();
         assert!(opt > un * 2.0, "opt {opt:.0} vs unopt {un:.0}");
         assert!(opt < 1345.0, "below GTX480 peak");
-    }
-
-    #[test]
-    fn scaling_run_one_node_vs_four() {
-        let one = run_app(
-            AppId::Kmeans,
-            Series::CashmereOpt,
-            &ClusterSpec::homogeneous(1, "gtx480"),
-            1,
-        );
-        let four = run_app(
-            AppId::Kmeans,
-            Series::CashmereOpt,
-            &ClusterSpec::homogeneous(4, "gtx480"),
-            1,
-        );
-        let speedup = one.makespan_s / four.makespan_s;
-        assert!(speedup > 2.0, "4-node speedup {speedup:.2}");
-        assert!(four.gflops > one.gflops * 2.0);
     }
 }

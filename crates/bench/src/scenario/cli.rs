@@ -1,0 +1,244 @@
+//! Shared command-line front end for the eight bench bins.
+//!
+//! Every bin starts with the same two calls:
+//!
+//! ```text
+//! let (common, rest) = cli::common_args();
+//! if cli::handle_scenario(&common) { return; }
+//! ```
+//!
+//! [`common_args`] splits the flags every bin accepts out of argv in one
+//! pass — `--faults plan.json`, `--trace out.json`, `--explain`,
+//! `--metrics-out m.txt`, `--jobs N`, `--policy P`, `--scenario file.json`,
+//! `--dump-scenario` — returning the rest (argv[0] included) for
+//! bin-specific parsing. [`handle_scenario`] implements the declarative
+//! entry: when `--scenario` names a spec file it is loaded, overridden by
+//! the CLI flags, validated, and either printed (`--dump-scenario`) or run
+//! through [`run_scenario`] with a provenance-bearing report written under
+//! `bench/out/`. Bins whose presets are scenario-shaped then honor a bare
+//! `--dump-scenario` by printing their resolved preset list via
+//! [`dump_scenarios`] instead of running.
+
+use super::{run_scenario, Scenario, ScenarioReport};
+use crate::obs::{obs_args, report_run, ObsArgs};
+use crate::output::Table;
+use crate::sweep::jobs_from_args;
+use cashmere::balancer::Policy;
+use cashmere_des::fault::FaultPlan;
+use std::path::PathBuf;
+
+/// Flags shared by all bench bins, split out of argv by [`common_args`].
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// Worker threads for the sweep executor (`--jobs N`).
+    pub jobs: usize,
+    /// Observability flags (`--trace`, `--explain`, `--metrics-out`).
+    pub obs: ObsArgs,
+    /// Fault plan (`--faults plan.json`; empty when absent).
+    pub faults: FaultPlan,
+    /// Balancer policy override (`--policy scenario|round-robin|greedy`).
+    pub policy: Option<Policy>,
+    /// Scenario file to run instead of the bin's presets (`--scenario`).
+    pub scenario: Option<String>,
+    /// Print resolved scenario(s) instead of running (`--dump-scenario`).
+    pub dump: bool,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Load a fault plan from a JSON file (the bench bins' `--faults` flag).
+pub fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Split the shared flags out of argv. Returns the remaining arguments,
+/// argv[0] included, for bin-specific parsing. Exits with a message on a
+/// malformed flag (missing value, unreadable plan, unknown policy).
+pub fn common_args() -> (CommonArgs, Vec<String>) {
+    let mut common = CommonArgs::default();
+    let mut rest = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--faults" => {
+                let path = value("--faults");
+                match load_fault_plan(&path) {
+                    Ok(p) => common.faults = p,
+                    Err(e) => fail(&e),
+                }
+            }
+            "--policy" => {
+                let v = value("--policy");
+                common.policy = Some(Policy::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown policy `{v}` (scenario|round-robin|greedy)"
+                    ))
+                }));
+            }
+            "--scenario" => common.scenario = Some(value("--scenario")),
+            "--dump-scenario" => common.dump = true,
+            _ => rest.push(a),
+        }
+    }
+    let (obs, rest) = obs_args(rest);
+    let (jobs, rest) = jobs_from_args(rest);
+    common.obs = obs;
+    common.jobs = jobs;
+    (common, rest)
+}
+
+/// Apply the CLI overrides to a preset (or loaded) scenario: `--policy`,
+/// `--faults`, and in-memory capture when any observability flag is set.
+pub fn apply_overrides(mut sc: Scenario, common: &CommonArgs) -> Scenario {
+    if let Some(p) = common.policy {
+        sc.policy = p;
+    }
+    if !common.faults.is_empty() {
+        sc.faults = Some(common.faults.clone());
+    }
+    if common.obs.enabled() {
+        sc.outputs.capture = true;
+        sc.outputs.explain = common.obs.explain;
+    }
+    sc
+}
+
+/// Print a resolved scenario list as a JSON array (the bins'
+/// bare `--dump-scenario`).
+pub fn dump_scenarios(scenarios: &[Scenario]) {
+    let mut s = serde_json::to_string_pretty(scenarios).expect("scenarios serialize");
+    s.push('\n');
+    print!("{s}");
+}
+
+/// `bench/out/<file>` relative to the workspace root.
+pub fn out_path(file: &str) -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("bench/out");
+    dir.join(file)
+}
+
+/// Handle `--scenario file.json`: load, override with the CLI flags,
+/// validate, then dump (`--dump-scenario`) or run and write the
+/// provenance-bearing report. Returns `true` when the flag was present and
+/// handled — the bin should return without running its presets. Exits with
+/// a message on load or validation errors.
+pub fn handle_scenario(common: &CommonArgs) -> bool {
+    let Some(path) = &common.scenario else {
+        return false;
+    };
+    let sc = match Scenario::load(path) {
+        Ok(sc) => apply_overrides(sc, common),
+        Err(e) => fail(&e),
+    };
+    if let Err(e) = sc.validate() {
+        fail(&format!("{path}: invalid scenario: {e}"));
+    }
+    if common.dump {
+        print!("{}", sc.to_canonical_json());
+        return true;
+    }
+    let run = run_scenario(&sc);
+    let r = &run.outcome;
+    println!(
+        "scenario {}: {} / {} on {} node(s)\n",
+        sc.name, r.app, r.series, r.nodes
+    );
+    let mut t = Table::new(&[
+        "makespan",
+        "GFLOPS",
+        "kernels",
+        "fallbacks",
+        "steals",
+        "net bytes",
+    ]);
+    t.row(vec![
+        format!("{:.3}s", r.makespan_s),
+        format!("{:.0}", r.gflops),
+        r.kernels_run.to_string(),
+        r.cpu_fallbacks.to_string(),
+        r.steals_ok.to_string(),
+        r.network_bytes.to_string(),
+    ]);
+    println!("{}", t.render());
+    if let Some(f) = &r.failure_summary {
+        for line in f.lines() {
+            println!("  {line}");
+        }
+        println!();
+    }
+    if let Some(cap) = &run.cap {
+        report_run(&common.obs, &sc.name, cap);
+    }
+    let report = ScenarioReport::new(&sc, run.outcome);
+    let path = match &sc.outputs.report {
+        Some(p) => PathBuf::from(p),
+        None => out_path(&format!("scenario_{}.json", sc.name)),
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.to_canonical_json()) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_loads_and_reports_errors() {
+        assert!(load_fault_plan("/nonexistent/plan.json")
+            .unwrap_err()
+            .contains("cannot read"));
+        let dir = std::env::temp_dir().join("cashmere-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, r#"{"node_crashes":[{"node":1,"at":5000000}]}"#).unwrap();
+        let plan = load_fault_plan(good.to_str().unwrap()).unwrap();
+        assert_eq!(plan.node_crashes.len(), 1);
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(load_fault_plan(bad.to_str().unwrap())
+            .unwrap_err()
+            .contains("cannot parse"));
+    }
+
+    #[test]
+    fn overrides_apply_policy_faults_capture() {
+        use crate::runners::{AppId, Series};
+        use cashmere::ClusterSpec;
+        let sc = Scenario::new(
+            "t",
+            AppId::Kmeans,
+            Series::CashmereOpt,
+            &ClusterSpec::homogeneous(1, "gtx480"),
+        );
+        let common = CommonArgs {
+            policy: Some(Policy::RoundRobin),
+            obs: ObsArgs {
+                explain: true,
+                ..ObsArgs::default()
+            },
+            ..CommonArgs::default()
+        };
+        let out = apply_overrides(sc, &common);
+        assert_eq!(out.policy, Policy::RoundRobin);
+        assert!(out.outputs.capture);
+        assert!(out.outputs.explain);
+        assert!(out.faults.is_none(), "empty plan stays None");
+    }
+}

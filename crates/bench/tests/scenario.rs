@@ -1,0 +1,144 @@
+//! The declarative scenario layer, end to end: the checked-in catalog
+//! parses and validates, canonical JSON round-trips, invalid specs are
+//! rejected with a real exit code, and the provenance block embedded in
+//! every report re-runs byte-identically at any `--jobs`.
+
+use cashmere_bench::{run_scenario, Scenario, ScenarioReport};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn catalog() -> Vec<(PathBuf, Scenario)> {
+    let dir = repo_root().join("bench/scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("bench/scenarios exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 3,
+        "expected the checked-in catalog (paper, hetero, fault demo), found {files:?}"
+    );
+    files
+        .into_iter()
+        .map(|p| {
+            let sc = Scenario::load(p.to_str().unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, sc)
+        })
+        .collect()
+}
+
+#[test]
+fn catalog_scenarios_parse_and_validate() {
+    for (path, sc) in catalog() {
+        sc.validate()
+            .unwrap_or_else(|e| panic!("{}: invalid: {e}", path.display()));
+    }
+}
+
+#[test]
+fn catalog_scenarios_round_trip_canonically() {
+    for (path, sc) in catalog() {
+        let canonical = sc.to_canonical_json();
+        let back = Scenario::from_json(&canonical)
+            .unwrap_or_else(|e| panic!("{}: canonical form rejected: {e}", path.display()));
+        assert_eq!(
+            sc,
+            back,
+            "{}: round trip changed the scenario",
+            path.display()
+        );
+        // Canonical JSON is a fixed point: serializing the round-tripped
+        // value reproduces the exact bytes.
+        assert_eq!(
+            canonical,
+            back.to_canonical_json(),
+            "{}: canonical JSON is not a fixed point",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn invalid_scenario_fails_with_exit_2() {
+    let dir = std::env::temp_dir().join("cashmere-scenario-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad_device.json");
+    std::fs::write(
+        &bad,
+        r#"{"name":"bad","app":"kmeans","series":"cashmere-opt","nodes":[["gtx9999"]]}"#,
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_tables"))
+        .args(["--scenario", bad.to_str().unwrap()])
+        .output()
+        .expect("tables binary runs");
+    assert_eq!(out.status.code(), Some(2), "invalid spec must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown device"),
+        "error should name the problem, got: {err}"
+    );
+}
+
+#[test]
+fn report_provenance_reruns_byte_identically() {
+    let path = repo_root().join("bench/scenarios/smoke.json");
+    let sc = Scenario::load(path.to_str().unwrap()).expect("smoke scenario loads");
+    let report = ScenarioReport::new(&sc, run_scenario(&sc).outcome);
+    let first = report.to_canonical_json();
+    // Parse the report back as a consumer would (from the JSON alone) and
+    // re-execute its embedded provenance block.
+    let parsed = ScenarioReport::from_json(&first).expect("report parses");
+    let second = parsed.rerun().to_canonical_json();
+    assert_eq!(first, second, "provenance re-run is not byte-identical");
+}
+
+#[test]
+fn scenario_run_is_byte_identical_at_any_jobs() {
+    let spec = repo_root().join("bench/scenarios/smoke.json");
+    let run = |jobs: &str| {
+        let report = std::env::temp_dir()
+            .join("cashmere-scenario-test")
+            .join(format!("smoke_jobs{jobs}.json"));
+        std::fs::create_dir_all(report.parent().unwrap()).unwrap();
+        // Point the report at a temp file via the outputs.report field so
+        // parallel test runs don't race on bench/out/.
+        let mut sc = Scenario::load(spec.to_str().unwrap()).unwrap();
+        sc.outputs.report = Some(report.to_str().unwrap().to_string());
+        let patched = report.with_extension("spec.json");
+        std::fs::write(&patched, sc.to_canonical_json()).unwrap();
+        let out = Command::new(env!("CARGO_BIN_EXE_tables"))
+            .args(["--scenario", patched.to_str().unwrap(), "--jobs", jobs])
+            .output()
+            .expect("tables binary runs");
+        assert!(
+            out.status.success(),
+            "--jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read(&report).expect("report written");
+        (out.stdout, json)
+    };
+    let (stdout_seq, json_seq) = run("1");
+    let (stdout_par, json_par) = run("4");
+    // stdout includes the [wrote …] path, which differs by file name; the
+    // table block above it must match.
+    let table = |b: &[u8]| {
+        String::from_utf8_lossy(b)
+            .lines()
+            .filter(|l| !l.starts_with("[wrote"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&stdout_seq), table(&stdout_par));
+    assert_eq!(json_seq, json_par, "report bytes differ across --jobs");
+}

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 /// Device-selection policy. [`Policy::Scenario`] is the paper's algorithm;
 /// the others exist for ablation studies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Policy {
     /// Sec. III-B: minimize the scenario makespan over per-device time
     /// estimates (static table until measured).
@@ -29,6 +29,47 @@ pub enum Policy {
     /// Greedy: always the device with the best time estimate, ignoring
     /// queue depths.
     FastestOnly,
+}
+
+// Hand-written so the JSON form is the stable kebab-case CLI name
+// (`scenario`, `round-robin`, `fastest-only`, with `greedy` accepted).
+impl Serialize for Policy {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Policy {
+    fn from_content(content: &serde::Content) -> Result<Policy, serde::DeError> {
+        match content.as_str() {
+            Some(s) => Policy::parse(s).ok_or_else(|| serde::DeError::unknown_variant(s, "Policy")),
+            None => Err(serde::DeError::expected("string", "Policy", content)),
+        }
+    }
+}
+
+impl Policy {
+    pub const ALL: [Policy; 3] = [Policy::Scenario, Policy::RoundRobin, Policy::FastestOnly];
+
+    /// Stable CLI/JSON name (`scenario`, `round-robin`, `fastest-only`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Scenario => "scenario",
+            Policy::RoundRobin => "round-robin",
+            Policy::FastestOnly => "fastest-only",
+        }
+    }
+
+    /// Parse a policy name; accepts `greedy` as an alias for
+    /// [`Policy::FastestOnly`].
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s.to_ascii_lowercase().as_str() {
+            "scenario" => Some(Policy::Scenario),
+            "round-robin" | "roundrobin" => Some(Policy::RoundRobin),
+            "fastest-only" | "fastestonly" | "greedy" => Some(Policy::FastestOnly),
+            _ => None,
+        }
+    }
 }
 
 /// Per-device queue state the balancer reasons about.

@@ -80,12 +80,52 @@ impl LinkFault {
 
 /// Everything that goes wrong in one run. Serializable so a scenario can
 /// be stored and replayed byte-for-byte.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct FaultPlan {
     pub node_crashes: Vec<NodeCrash>,
     pub device_failures: Vec<DeviceFailure>,
     pub launch_faults: Vec<LaunchFaultWindow>,
     pub link_faults: Vec<LinkFault>,
+}
+
+// Hand-written: plan files and scenarios may list only the fault kinds
+// they use — absent arrays are empty — and unknown keys are rejected so a
+// misspelled fault kind fails loudly instead of injecting nothing.
+impl Deserialize for FaultPlan {
+    fn from_content(content: &serde::Content) -> Result<FaultPlan, serde::DeError> {
+        use serde::{Content, DeError};
+        const TY: &str = "FaultPlan";
+        const FIELDS: [&str; 4] = [
+            "node_crashes",
+            "device_failures",
+            "launch_faults",
+            "link_faults",
+        ];
+        let m = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", TY, content))?;
+        for (k, _) in m {
+            let Some(k) = k.as_str() else {
+                return Err(DeError::custom(format!("non-string key in `{TY}`")));
+            };
+            if !FIELDS.contains(&k) {
+                return Err(DeError::custom(format!("unknown field `{k}` in `{TY}`")));
+            }
+        }
+        fn list<T: Deserialize>(m: &[(Content, Content)], key: &str) -> Result<Vec<T>, DeError> {
+            match m.iter().find(|(k, _)| k.as_str() == Some(key)) {
+                None => Ok(Vec::new()),
+                Some((_, Content::Null)) => Ok(Vec::new()),
+                Some((_, v)) => Vec::<T>::from_content(v),
+            }
+        }
+        Ok(FaultPlan {
+            node_crashes: list(m, "node_crashes")?,
+            device_failures: list(m, "device_failures")?,
+            launch_faults: list(m, "launch_faults")?,
+            link_faults: list(m, "link_faults")?,
+        })
+    }
 }
 
 impl FaultPlan {

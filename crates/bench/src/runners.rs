@@ -122,6 +122,44 @@ impl Series {
     }
 }
 
+/// Recovery-cost accounting of one faulted run: how gracefully the cluster
+/// degraded. Present on a [`RunOutcome`] only when the run observed
+/// injected faults, so fault-free artifacts keep their exact bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    pub crashes: u64,
+    /// Nodes that (re)joined mid-run.
+    pub joins: u64,
+    /// Subtree roots re-queued for re-execution after crashes.
+    pub jobs_restarted: u64,
+    /// Orphan results salvaged into the global result table.
+    pub orphans_harvested: u64,
+    /// Salvaged results reused instead of re-executing their subtree.
+    pub orphans_reused: u64,
+    /// Salvaged results that expired unused (holder crashed or run ended).
+    pub orphans_expired: u64,
+    /// Virtual time spent redoing lost work (re-executed leaf compute plus
+    /// aborted device time).
+    pub work_lost_s: f64,
+    /// Wall (virtual) time with at least one restarted subtree outstanding.
+    pub time_to_recover_s: f64,
+}
+
+impl RecoverySummary {
+    pub fn from_report(r: &cashmere_satin::RunReport) -> RecoverySummary {
+        RecoverySummary {
+            crashes: r.crashes,
+            joins: r.joins,
+            jobs_restarted: r.jobs_restarted,
+            orphans_harvested: r.orphans_harvested,
+            orphans_reused: r.orphans_reused,
+            orphans_expired: r.orphans_expired,
+            work_lost_s: r.recovery_time.as_secs_f64(),
+            time_to_recover_s: r.time_to_recover.as_secs_f64(),
+        }
+    }
+}
+
 /// Result of one measured run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
@@ -137,6 +175,8 @@ pub struct RunOutcome {
     /// Failure-accounting section of the run report; present only when the
     /// run observed injected faults (`--faults`).
     pub failure_summary: Option<String>,
+    /// Recovery-cost counters; present only alongside `failure_summary`.
+    pub recovery: Option<RecoverySummary>,
 }
 
 /// Node-level grain at paper scale. The light-communication applications

@@ -30,7 +30,7 @@ pub mod cli;
 
 use crate::advisor::PerturbSet;
 use crate::obs::ObsCapture;
-use crate::runners::{kernel_set, node_grain, AppId, RunOutcome, Series};
+use crate::runners::{kernel_set, node_grain, AppId, RecoverySummary, RunOutcome, Series};
 use cashmere::balancer::Policy;
 use cashmere::{build_cluster, AuditEntry, ClusterSpec, RuntimeConfig};
 use cashmere_apps::kmeans::{self, KmeansApp, KmeansProblem};
@@ -317,6 +317,9 @@ fn default_net() -> NetConfig {
 fn default_overlap() -> bool {
     true
 }
+fn default_orphan_reuse() -> bool {
+    true
+}
 
 /// One fully-described experiment. Serializable (canonical JSON via
 /// [`Scenario::to_canonical_json`]); `name`, `app`, `series` and `nodes`
@@ -361,6 +364,9 @@ pub struct Scenario {
     pub overlap: bool,
     /// Injected faults, replayed deterministically from the seed.
     pub faults: Option<FaultPlan>,
+    /// Satin-style orphan-result reuse on crash recovery (default on).
+    /// `false` is the ablation: every orphaned result is re-executed.
+    pub orphan_reuse: bool,
     /// Advisor perturbations applied to the whole re-execution
     /// (virtual-speed what-ifs).
     pub perturb: Option<PerturbSet>,
@@ -368,7 +374,7 @@ pub struct Scenario {
 }
 
 /// Field names of the JSON form, in canonical (declaration) order.
-const SCENARIO_FIELDS: [&str; 20] = [
+const SCENARIO_FIELDS: [&str; 21] = [
     "name",
     "app",
     "series",
@@ -387,6 +393,7 @@ const SCENARIO_FIELDS: [&str; 20] = [
     "net",
     "overlap",
     "faults",
+    "orphan_reuse",
     "perturb",
     "outputs",
 ];
@@ -412,6 +419,7 @@ impl Serialize for Scenario {
             (skey("net"), self.net.to_content()),
             (skey("overlap"), self.overlap.to_content()),
             (skey("faults"), self.faults.to_content()),
+            (skey("orphan_reuse"), self.orphan_reuse.to_content()),
             (skey("perturb"), self.perturb.to_content()),
             (skey("outputs"), self.outputs.to_content()),
         ])
@@ -445,6 +453,7 @@ impl Deserialize for Scenario {
             net: opt_field(m, "net")?.unwrap_or_else(default_net),
             overlap: opt_field(m, "overlap")?.unwrap_or_else(default_overlap),
             faults: opt_field(m, "faults")?,
+            orphan_reuse: opt_field(m, "orphan_reuse")?.unwrap_or_else(default_orphan_reuse),
             perturb: opt_field(m, "perturb")?,
             outputs: opt_field(m, "outputs")?.unwrap_or_default(),
         })
@@ -478,6 +487,7 @@ impl Scenario {
             net: default_net(),
             overlap: default_overlap(),
             faults: None,
+            orphan_reuse: default_orphan_reuse(),
             perturb: None,
             outputs: OutputSpec::default(),
         }
@@ -541,6 +551,11 @@ impl Scenario {
         } else {
             Some(faults)
         };
+        self
+    }
+
+    pub fn with_orphan_reuse(mut self, on: bool) -> Scenario {
+        self.orphan_reuse = on;
         self
     }
 
@@ -763,6 +778,7 @@ impl Scenario {
                 Series::Satin => usize::MAX,
                 _ => 2,
             }),
+            orphan_reuse: self.orphan_reuse,
             trace: self.observe(),
             ..SimConfig::default()
         };
@@ -850,8 +866,17 @@ impl ScenarioReport {
     }
 }
 
-fn failures_of(r: &RunReport) -> Option<String> {
-    r.saw_failures().then(|| r.failure_summary())
+/// Failure accounting of one run: the human-readable summary plus the
+/// structured recovery counters. Both `None` for fault-free runs, keeping
+/// their artifact bytes unchanged.
+fn failures_of(r: &RunReport) -> (Option<String>, Option<RecoverySummary>) {
+    if !r.saw_failures() {
+        return (None, None);
+    }
+    (
+        Some(r.failure_summary()),
+        Some(RecoverySummary::from_report(r)),
+    )
 }
 
 /// Clone the observability exports (span trace, metrics, audit log) out of
@@ -1147,7 +1172,8 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
         cpu_fallbacks: fallbacks,
         steals_ok: steals,
         network_bytes: bytes,
-        failure_summary: failures,
+        failure_summary: failures.0,
+        recovery: failures.1,
     };
     ScenarioRun { outcome, cap }
 }
@@ -1265,5 +1291,53 @@ mod tests {
         assert!(observed.cap.is_some());
         // Tracing must not change the measured physics.
         assert_eq!(observed.outcome.makespan_s, a.outcome.makespan_s);
+    }
+
+    #[test]
+    fn faulted_sweep_is_byte_identical_at_any_jobs_width() {
+        // The chaos bin's contract: a sweep of fault scenarios (crashes,
+        // rejoins, lossy links) reassembled by the parallel executor is
+        // byte-identical between --jobs 1 and --jobs 4, and the faulted
+        // outcomes carry the recovery-cost section.
+        use cashmere_des::fault::{LinkFault, NodeCrash, NodeJoin};
+        let faulted = |crash_ms: u64| {
+            small()
+                .named(format!("test-chaos-{crash_ms}"))
+                .with_faults(FaultPlan {
+                    node_crashes: vec![NodeCrash {
+                        node: 1,
+                        at: SimTime::from_millis(crash_ms),
+                    }],
+                    node_joins: vec![NodeJoin {
+                        node: 1,
+                        at: SimTime::from_millis(crash_ms + 5),
+                    }],
+                    link_faults: vec![LinkFault {
+                        src: None,
+                        dst: Some(0),
+                        from: SimTime::from_millis(1),
+                        until: SimTime::from_millis(crash_ms + 8),
+                        loss: 0.1,
+                        spike: SimTime::from_micros(200),
+                        spike_probability: 0.2,
+                    }],
+                    ..FaultPlan::default()
+                })
+        };
+        let scenarios: Vec<Scenario> = vec![small(), faulted(2), faulted(4), faulted(6)];
+        let outcomes = |jobs: usize| -> Vec<String> {
+            crate::sweep(scenarios.clone(), jobs, |sc| run_scenario(&sc))
+                .into_iter()
+                .map(|r| serde_json::to_string(&r.outcome).unwrap())
+                .collect()
+        };
+        let serial = outcomes(1);
+        assert_eq!(serial, outcomes(4), "sweep must not depend on --jobs");
+        let faulted_outcome: RunOutcome = serde_json::from_str(&serial[1]).unwrap();
+        let rec = faulted_outcome.recovery.expect("faulted run has recovery");
+        assert_eq!(rec.crashes, 1);
+        assert_eq!(rec.joins, 1);
+        let clean: RunOutcome = serde_json::from_str(&serial[0]).unwrap();
+        assert!(clean.recovery.is_none(), "fault-free run reports none");
     }
 }

@@ -767,4 +767,49 @@ impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
             output,
         }
     }
+
+    /// Node crash: the node's device state dies with it. Pull every engine
+    /// timeline back to the crash instant (work past it never happens),
+    /// release all buffers, and forget pending completions. Injected device
+    /// deaths (`dead`) are permanent hardware facts and stay marked.
+    fn on_node_crash(&mut self, node: usize, at: SimTime) {
+        let Some(nd) = self.nodes.get_mut(node) else {
+            return;
+        };
+        for slot in &mut nd.devices {
+            slot.sim.abort_after(at);
+            for (_, id) in slot.allocations.drain(..) {
+                slot.sim.memory.free(id);
+            }
+            for (_, id) in slot.resident.drain() {
+                slot.sim.memory.free(id);
+            }
+        }
+        nd.pending.clear();
+    }
+
+    /// Node (re)join: the node's runtime process restarts, so its devices
+    /// re-register with a balancer rebuilt from the static speed table —
+    /// measured kernel times are deliberately forgotten (the restarted
+    /// process re-measures). Devices killed by an injected death stay
+    /// retired across the reboot.
+    fn on_node_join(&mut self, node: usize, _at: SimTime) {
+        let Some(nd) = self.nodes.get_mut(node) else {
+            return;
+        };
+        let speeds: Vec<f64> = nd
+            .devices
+            .iter()
+            .map(|s| s.sim.params.relative_speed)
+            .collect();
+        let mut balancer = Balancer::new(&speeds);
+        balancer.policy = self.config.balancer_policy;
+        for (didx, slot) in nd.devices.iter().enumerate() {
+            if slot.dead {
+                balancer.retire_device(didx);
+            }
+        }
+        nd.balancer = balancer;
+        nd.pending.clear();
+    }
 }

@@ -31,6 +31,17 @@ pub struct NodeCrash {
     pub at: SimTime,
 }
 
+/// A node (re)joins the cluster at `at` (absolute virtual time). If the
+/// node's first plan event is a join it starts the run offline (a fresh
+/// join of a node the cluster knows about but that is not up yet);
+/// otherwise the join must follow a crash (a rejoin). A rejoined node comes
+/// back empty — no jobs, no steal state — and re-enters steal victim sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeJoin {
+    pub node: usize,
+    pub at: SimTime,
+}
+
 /// One device on a node dies permanently at `at`: in-flight timeline
 /// segments abort, resident buffers drain, and the device never comes back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +94,7 @@ impl LinkFault {
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct FaultPlan {
     pub node_crashes: Vec<NodeCrash>,
+    pub node_joins: Vec<NodeJoin>,
     pub device_failures: Vec<DeviceFailure>,
     pub launch_faults: Vec<LaunchFaultWindow>,
     pub link_faults: Vec<LinkFault>,
@@ -95,8 +107,9 @@ impl Deserialize for FaultPlan {
     fn from_content(content: &serde::Content) -> Result<FaultPlan, serde::DeError> {
         use serde::{Content, DeError};
         const TY: &str = "FaultPlan";
-        const FIELDS: [&str; 4] = [
+        const FIELDS: [&str; 5] = [
             "node_crashes",
+            "node_joins",
             "device_failures",
             "launch_faults",
             "link_faults",
@@ -121,6 +134,7 @@ impl Deserialize for FaultPlan {
         }
         Ok(FaultPlan {
             node_crashes: list(m, "node_crashes")?,
+            node_joins: list(m, "node_joins")?,
             device_failures: list(m, "device_failures")?,
             launch_faults: list(m, "launch_faults")?,
             link_faults: list(m, "link_faults")?,
@@ -136,14 +150,42 @@ impl FaultPlan {
 
     pub fn is_empty(&self) -> bool {
         self.node_crashes.is_empty()
+            && self.node_joins.is_empty()
             && self.device_failures.is_empty()
             && self.launch_faults.is_empty()
             && self.link_faults.is_empty()
     }
 
+    /// Nodes whose *first* plan event is a join: they start the run offline
+    /// (a fresh join) rather than rejoining after a crash. Assumes the plan
+    /// validates.
+    pub fn initially_offline(&self, nodes: usize) -> Vec<usize> {
+        (1..nodes)
+            .filter(|&n| {
+                let first_join = self
+                    .node_joins
+                    .iter()
+                    .filter(|j| j.node == n)
+                    .map(|j| j.at)
+                    .min();
+                let first_crash = self
+                    .node_crashes
+                    .iter()
+                    .filter(|c| c.node == n)
+                    .map(|c| c.at)
+                    .min();
+                matches!((first_join, first_crash),
+                    (Some(j), Some(c)) if j < c)
+                    || (first_join.is_some() && first_crash.is_none())
+            })
+            .collect()
+    }
+
     /// Check the plan against a cluster of `nodes` nodes. Node 0 is the
     /// master and must not crash; windows must be non-empty; probabilities
-    /// must be in `[0, 1]`.
+    /// must be in `[0, 1]`; each node's crash/join events must strictly
+    /// alternate in time (a node cannot crash twice without a join in
+    /// between, or join while already up unless it is its first event).
     pub fn validate(&self, nodes: usize) -> Result<(), String> {
         for c in &self.node_crashes {
             if c.node == 0 {
@@ -154,6 +196,51 @@ impl FaultPlan {
                     "crash of node {} but cluster has {nodes} nodes",
                     c.node
                 ));
+            }
+        }
+        for j in &self.node_joins {
+            if j.node == 0 {
+                return Err("node 0 (the master) cannot leave or join".into());
+            }
+            if j.node >= nodes {
+                return Err(format!(
+                    "join of node {} but cluster has {nodes} nodes",
+                    j.node
+                ));
+            }
+        }
+        // Per-node lifecycle: merge the node's crashes and joins, sort by
+        // time, and require strict alternation at distinct times. The first
+        // event may be either kind — a leading join means the node starts
+        // the run offline.
+        for n in 1..nodes {
+            let mut events: Vec<(SimTime, bool)> = self
+                .node_crashes
+                .iter()
+                .filter(|c| c.node == n)
+                .map(|c| (c.at, true))
+                .chain(
+                    self.node_joins
+                        .iter()
+                        .filter(|j| j.node == n)
+                        .map(|j| (j.at, false)),
+                )
+                .collect();
+            events.sort_by_key(|&(at, _)| at);
+            for w in events.windows(2) {
+                let ((t0, crash0), (t1, crash1)) = (w[0], w[1]);
+                if t0 == t1 {
+                    return Err(format!(
+                        "node {n} has two lifecycle events at the same time {t0}"
+                    ));
+                }
+                if crash0 == crash1 {
+                    let kind = if crash0 { "crashes" } else { "joins" };
+                    return Err(format!(
+                        "node {n} has two consecutive {kind} ({t0}, {t1}) — crash and \
+                         join events must alternate"
+                    ));
+                }
             }
         }
         for f in &self.device_failures {
@@ -322,6 +409,7 @@ mod tests {
     fn lossy_plan() -> FaultPlan {
         FaultPlan {
             node_crashes: vec![NodeCrash { node: 2, at: ms(5) }],
+            node_joins: vec![],
             device_failures: vec![DeviceFailure {
                 node: 1,
                 device: 0,
@@ -469,5 +557,53 @@ mod tests {
         p.link_faults[0].loss = 0.5;
         p.link_faults[0].until = ms(0);
         assert!(p.validate(4).is_err(), "empty window rejected");
+    }
+
+    #[test]
+    fn join_lifecycle_must_alternate() {
+        let mut p = FaultPlan::none();
+        p.node_joins.push(NodeJoin { node: 0, at: ms(1) });
+        assert!(p.validate(4).is_err(), "master join rejected");
+        p.node_joins[0].node = 9;
+        assert!(p.validate(4).is_err(), "out-of-range join rejected");
+        // A leading join (node starts offline) is fine on its own.
+        p.node_joins[0].node = 2;
+        assert!(p.validate(4).is_ok());
+        assert_eq!(p.initially_offline(4), vec![2]);
+        // crash @5 then join @1 means the join leads: still offline start.
+        p.node_crashes.push(NodeCrash { node: 2, at: ms(5) });
+        assert!(p.validate(4).is_ok());
+        assert_eq!(p.initially_offline(4), vec![2]);
+        // crash @5 then join @9: a rejoin; node starts alive.
+        p.node_joins[0].at = ms(9);
+        assert!(p.validate(4).is_ok());
+        assert!(p.initially_offline(4).is_empty());
+        // Two crashes with no join in between: rejected.
+        p.node_crashes.push(NodeCrash { node: 2, at: ms(7) });
+        assert!(p.validate(4).is_err(), "consecutive crashes rejected");
+        // Crash and join at the same instant: rejected.
+        p.node_crashes[1].at = ms(9);
+        assert!(p.validate(4).is_err(), "simultaneous events rejected");
+        // crash @5, join @9, crash @12, join @20: a full rejoin cycle.
+        p.node_crashes[1].at = ms(12);
+        p.node_joins.push(NodeJoin {
+            node: 2,
+            at: ms(20),
+        });
+        assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn join_plan_roundtrips_and_absent_field_is_empty() {
+        let mut p = lossy_plan();
+        p.node_joins.push(NodeJoin { node: 2, at: ms(8) });
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        // Plans written before `node_joins` existed still parse.
+        let legacy: FaultPlan =
+            serde_json::from_str(r#"{ "node_crashes": [ { "node": 1, "at": 1000 } ] }"#).unwrap();
+        assert!(legacy.node_joins.is_empty());
+        assert!(!legacy.is_empty());
     }
 }

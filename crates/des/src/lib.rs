@@ -46,6 +46,7 @@ pub mod trace;
 pub use engine::{Event, EventHandle, Sim};
 pub use fault::{
     DeviceFailure, FaultInjector, FaultPlan, LaunchFaultWindow, LinkFault, MessageFate, NodeCrash,
+    NodeJoin,
 };
 pub use obs::{ChromeTrace, CriticalPath, LatencyHistogram, MetricsRegistry};
 pub use resource::Resource;

@@ -104,6 +104,15 @@ pub trait LeafRuntime<A: ClusterApp>: 'static {
     /// access to application callbacks (device-level division, kernel
     /// descriptions).
     fn plan(&mut self, app: &A, input: &A::Input, ctx: LeafCtx<'_>) -> LeafPlan<A::Output>;
+
+    /// Node `node` crashed at `at`: discard any per-node runtime state
+    /// (device timelines, pending work, resident buffers). Default: no-op,
+    /// correct for stateless CPU leaf runtimes.
+    fn on_node_crash(&mut self, _node: usize, _at: SimTime) {}
+
+    /// Node `node` (re)joined at `at`: bring its per-node runtime state
+    /// back up (re-register devices, rebuild the balancer). Default: no-op.
+    fn on_node_join(&mut self, _node: usize, _at: SimTime) {}
 }
 
 /// Plain Satin: every leaf is a single-threaded CPU computation.

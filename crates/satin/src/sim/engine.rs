@@ -20,7 +20,7 @@ use cashmere_des::trace::{LaneId, SpanId, SpanKind};
 use cashmere_des::{Sim, SimTime};
 use cashmere_netsim::nic::{schedule_transfer, NodeNic};
 use cashmere_netsim::NetConfig;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +53,12 @@ pub struct SimConfig {
     /// abandoning the attempt (the request or reply was lost). Only armed
     /// when a fault plan is active.
     pub steal_timeout: SimTime,
+    /// Satin-style orphan-result reuse: when a crash orphans a subtree,
+    /// completed results still held by surviving nodes are salvaged into a
+    /// global result table and reused by the re-executed subtree instead of
+    /// recomputing them. Disable (`--no-orphan-reuse` in the bench bins) to
+    /// measure the ablation: every orphaned result is recomputed.
+    pub orphan_reuse: bool,
 }
 
 impl Default for SimConfig {
@@ -69,6 +75,7 @@ impl Default for SimConfig {
             trace: false,
             faults: FaultPlan::default(),
             steal_timeout: SimTime::from_millis(5),
+            orphan_reuse: true,
         }
     }
 }
@@ -130,11 +137,28 @@ struct NodeState {
     /// Pending steal-timeout event (armed only under an active fault plan).
     steal_timeout_event: Option<cashmere_des::EventHandle>,
     alive: bool,
+    /// Bumped every time the node crashes. Events scheduled by a previous
+    /// incarnation (leaf completions, async submits, in-flight steals)
+    /// capture the value and ignore themselves after a rejoin, when `alive`
+    /// is true again but the node's runtime state has been rebuilt from
+    /// scratch.
+    incarnation: u64,
     tick_scheduled: bool,
     cpu_lane: LaneId,
     net_lane: LaneId,
     /// When the outstanding steal attempt was initiated (steal RTT metric).
     steal_started: SimTime,
+}
+
+/// A salvaged orphan result in the global result table: the output of a
+/// completed subtree whose enclosing tree was reset by a crash, still held
+/// by a surviving node.
+struct OrphanEntry<O> {
+    output: O,
+    /// Node physically holding the result; fetching it from elsewhere is
+    /// charged as a network transfer.
+    holder: usize,
+    bytes: u64,
 }
 
 /// The simulation world: nodes, jobs, application, leaf runtime.
@@ -150,6 +174,19 @@ pub struct World<A: ClusterApp, L: LeafRuntime<A>> {
     root_job: usize,
     root_result: Option<A::Output>,
     done: bool,
+    /// Global result table (Satin's orphan-job salvage): completed subtree
+    /// results keyed by tree path. Divides are deterministic, so a
+    /// re-executed tree is isomorphic to the lost one and the path (child
+    /// indices from the root) identifies "the same job" across re-execution.
+    /// The map is only ever probed by key and purged by holder — iteration
+    /// order is never observed, so determinism holds.
+    orphans: HashMap<Vec<u32>, OrphanEntry<A::Output>>,
+    /// Crash-restarted subtree roots not yet re-completed; drives
+    /// `report.time_to_recover`.
+    recovery_outstanding: Vec<usize>,
+    /// When the current recovery episode (≥ 1 outstanding restart root)
+    /// began.
+    recovering_since: Option<SimTime>,
     pub report: RunReport,
 }
 
@@ -215,6 +252,7 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
                 retry_event: None,
                 steal_timeout_event: None,
                 alive: true,
+                incarnation: 0,
                 tick_scheduled: false,
                 cpu_lane: sim.trace.add_lane(format!("node{n}.cpu")),
                 net_lane: sim.trace.add_lane(format!("node{n}.net")),
@@ -232,14 +270,25 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
             root_job: 0,
             root_result: None,
             done: false,
+            orphans: HashMap::new(),
+            recovery_outstanding: Vec::new(),
+            recovering_since: None,
             report: RunReport::new(cfg.nodes),
             cfg,
         };
         let mut cs = ClusterSim { sim, world };
-        // Crashes named in the plan are ordinary scheduled crashes.
+        // Crashes and joins named in the plan are ordinary scheduled events.
         for c in cs.world.cfg.faults.node_crashes.clone() {
             cs.schedule_crash(c.node, c.at)
                 .expect("validated plan entries schedule cleanly at t=0");
+        }
+        for j in cs.world.cfg.faults.node_joins.clone() {
+            cs.schedule_join(j.node, j.at)
+                .expect("validated plan entries schedule cleanly at t=0");
+        }
+        // Nodes whose first plan event is a join start the run offline.
+        for n in cs.world.cfg.faults.initially_offline(cs.world.cfg.nodes) {
+            cs.world.nodes[n].alive = false;
         }
         cs
     }
@@ -277,6 +326,13 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
     /// crash — as in Satin, the master holds the root. Rejects (rather than
     /// silently accepting or panicking on) the master, out-of-range nodes,
     /// and crash times already in the past.
+    ///
+    /// Crashing a node that is already down when the event fires is a
+    /// documented **no-op**: the event is discarded and `report.crashes`
+    /// counts only real alive→dead transitions, so scheduling two crashes
+    /// for the same node never double-counts. (Plan files additionally
+    /// reject consecutive crashes without a join in between at validation
+    /// time.)
     pub fn schedule_crash(&mut self, node: usize, at: SimTime) -> Result<(), String> {
         if node == 0 {
             return Err("the master node (0) cannot crash in this model".into());
@@ -300,11 +356,44 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
         Ok(())
     }
 
+    /// Schedule node `n` to (re)join the cluster at absolute time `at`. A
+    /// joining node comes up empty — no jobs, no steal state, a fresh NIC —
+    /// and immediately re-enters the steal victim sets (victim selection
+    /// only checks liveness). Joining a node that is already up is a no-op.
+    /// Same request validation as [`ClusterSim::schedule_crash`].
+    pub fn schedule_join(&mut self, node: usize, at: SimTime) -> Result<(), String> {
+        if node == 0 {
+            return Err("the master node (0) cannot leave or join in this model".into());
+        }
+        if node >= self.world.cfg.nodes {
+            return Err(format!(
+                "node {node} out of range (cluster has {} nodes)",
+                self.world.cfg.nodes
+            ));
+        }
+        if at < self.sim.now() {
+            return Err(format!(
+                "join time {at} is in the past (virtual time is {})",
+                self.sim.now()
+            ));
+        }
+        self.sim
+            .schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                join(w, sim, node);
+            });
+        Ok(())
+    }
+
     /// Run one root job to completion and return its output. Virtual time
     /// continues from where the previous call left off.
     pub fn run_root(&mut self, input: A::Input) -> A::Output {
         self.world.done = false;
         self.world.root_result = None;
+        // Orphan results and recovery episodes never span root runs (both
+        // are settled when the previous root completed); clear defensively.
+        self.world.orphans.clear();
+        self.world.recovery_outstanding.clear();
+        self.world.recovering_since = None;
         let start = self.sim.now();
         let root = self.world.new_job(input, None, 0);
         self.world.root_job = root;
@@ -444,6 +533,66 @@ fn tick<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L>
     }
 }
 
+/// The job's tree path: child indices from the root. Divides are
+/// deterministic, so a re-executed subtree is isomorphic to the lost one
+/// and the path identifies "the same job" across fresh records. O(depth),
+/// computed only while the orphan table is non-empty.
+fn path_of<A: ClusterApp, L: LeafRuntime<A>>(w: &World<A, L>, mut j: usize) -> Vec<u32> {
+    let mut path = Vec::new();
+    while let Some((p, idx)) = w.jobs[j].parent {
+        path.push(idx as u32);
+        j = p;
+    }
+    path.reverse();
+    path
+}
+
+/// Salvage one completed result into the global result table.
+fn stash_orphan<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    key: Vec<u32>,
+    output: A::Output,
+    holder: usize,
+) {
+    let bytes = w.app.output_bytes(&output);
+    w.orphans.insert(
+        key,
+        OrphanEntry {
+            output,
+            holder,
+            bytes,
+        },
+    );
+    w.report.orphans_harvested += 1;
+}
+
+/// Drop every table entry held by node `n` (it just crashed and physically
+/// lost them).
+fn expire_orphans_of<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, n: usize) {
+    let before = w.orphans.len();
+    w.orphans.retain(|_, e| e.holder != n);
+    w.report.orphans_expired += (before - w.orphans.len()) as u64;
+}
+
+/// A recovery episode ends when no crash-restarted subtree root is still
+/// outstanding; the elapsed episode time accumulates into
+/// `report.time_to_recover`.
+fn note_recovery<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, now: SimTime) {
+    if w.recovery_outstanding.is_empty() {
+        return;
+    }
+    let jobs = &w.jobs;
+    w.recovery_outstanding.retain(|&r| {
+        let s = jobs[r].state;
+        s != JobState::Done && s != JobState::Lost
+    });
+    if w.recovery_outstanding.is_empty() {
+        if let Some(since) = w.recovering_since.take() {
+            w.report.time_to_recover += now - since;
+        }
+    }
+}
+
 fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
     w: &mut World<A, L>,
     sim: &mut S<A, L>,
@@ -452,6 +601,72 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
 ) {
     if w.jobs[j].state != JobState::Queued {
         return; // stale (crash reset)
+    }
+    // Reuse-first recovery: before spending a core, probe the global result
+    // table. A hit means a crashed subtree's result survived on some node —
+    // consume it (exactly once), charge the fetch to the network if it is
+    // remote, and deliver it through the ordinary result path instead of
+    // re-executing the subtree. The empty-table guard keeps fault-free runs
+    // on the exact original code path.
+    if w.cfg.orphan_reuse && !w.orphans.is_empty() {
+        let key = path_of(w, j);
+        if let Some(entry) = w.orphans.remove(&key) {
+            let OrphanEntry {
+                output,
+                holder,
+                bytes,
+            } = entry;
+            w.report.orphans_reused += 1;
+            w.jobs[j].state = JobState::Running;
+            w.jobs[j].exec_node = n;
+            let generation = w.jobs[j].generation;
+            if holder == n {
+                // Local table hit: a lookup costs one job overhead.
+                sim.schedule_in(
+                    w.cfg.job_overhead,
+                    move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if !w.nodes[n].alive {
+                            return;
+                        }
+                        deliver(w, sim, n, j, output, generation);
+                    },
+                );
+            } else {
+                // Remote hit: fetch the result from its holder. The result
+                // table is master-mediated bookkeeping; the fetch itself is
+                // modelled as a reliable transfer (retransmission of table
+                // traffic is below the model's resolution).
+                let (src_busy, dst_busy) = (w.busy_fraction(holder), w.busy_fraction(n));
+                let (lo, hi) = (holder.min(n), holder.max(n));
+                let (first, second) = w.nics.split_at_mut(hi);
+                let (src, dst) = if holder < n {
+                    (&mut first[lo], &mut second[0])
+                } else {
+                    (&mut second[0], &mut first[lo])
+                };
+                let tr =
+                    schedule_transfer(&w.cfg.net, sim.now(), src, dst, bytes, src_busy, dst_busy);
+                w.report.bytes_orphans += bytes;
+                if sim.trace.enabled() {
+                    sim.trace.record_child(
+                        w.nodes[n].net_lane,
+                        SpanKind::Network,
+                        "orphan-fetch",
+                        tr.start,
+                        tr.arrival,
+                        w.jobs[j].origin_span,
+                    );
+                }
+                sim.metrics.observe("net.transfer", tr.duration());
+                sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    if !w.nodes[n].alive {
+                        return;
+                    }
+                    deliver(w, sim, n, j, output, generation);
+                });
+            }
+            return;
+        }
     }
     w.jobs[j].state = JobState::Running;
     w.jobs[j].exec_node = n;
@@ -465,21 +680,27 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
         w.nodes[n].running_leaves += 1;
     }
     let generation = w.jobs[j].generation;
+    let inc = w.nodes[n].incarnation;
     let overhead = w.cfg.job_overhead;
     sim.schedule_in(overhead, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-        process_job(w, sim, n, j, generation, is_leaf);
+        process_job(w, sim, n, j, generation, inc, is_leaf);
     });
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
     w: &mut World<A, L>,
     sim: &mut S<A, L>,
     n: usize,
     j: usize,
     generation: u64,
+    inc: u64,
     is_leaf: bool,
 ) {
-    if !w.nodes[n].alive {
+    // An incarnation mismatch means the node crashed (and possibly
+    // rejoined) since this event was scheduled: its core accounting was
+    // rebuilt from zero, so do not release anything.
+    if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
         return;
     }
     if w.jobs[j].generation != generation {
@@ -506,7 +727,7 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                 );
             }
             sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                if !w.nodes[n].alive {
+                if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
                     return;
                 }
                 if w.jobs[j].generation != generation {
@@ -569,14 +790,11 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                     sim.trace.set_end(leaf_span, sim.now() + compute);
                     w.report.node_busy[n] += compute;
                     sim.schedule_in(compute, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if !w.nodes[n].alive {
+                        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
                             return;
                         }
                         w.nodes[n].running_leaves -= 1;
                         release_core(w, sim, n);
-                        if w.jobs[j].generation != generation {
-                            return;
-                        }
                         deliver(w, sim, n, j, output, generation);
                     });
                 }
@@ -588,21 +806,18 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                     sim.trace.set_end(leaf_span, done.max(sim.now()));
                     w.report.node_busy[n] += done.saturating_sub(sim.now());
                     sim.schedule_in(submit, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if !w.nodes[n].alive {
+                        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
                             return;
                         }
                         release_core(w, sim, n);
                     });
                     let at = done.max(sim.now());
                     sim.schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if !w.nodes[n].alive {
+                        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
                             return;
                         }
                         w.nodes[n].running_leaves -= 1;
                         schedule_tick(w, sim, n);
-                        if w.jobs[j].generation != generation {
-                            return;
-                        }
                         deliver(w, sim, n, j, output, generation);
                     });
                 }
@@ -661,14 +876,26 @@ fn deliver<A: ClusterApp, L: LeafRuntime<A>>(
     generation: u64,
 ) {
     if w.jobs[j].generation != generation || w.jobs[j].state == JobState::Lost {
+        // A late orphan result: the subtree completed, but its record was
+        // reset by a crash in the meantime. Report the result to the global
+        // table so the re-executed copy can reuse it instead of recomputing
+        // the whole subtree.
+        if w.cfg.orphan_reuse && !w.done && w.nodes[n].alive {
+            stash_orphan(w, path_of(w, j), output, n);
+        }
         return;
     }
     w.jobs[j].state = JobState::Done;
     w.jobs[j].input = None;
+    note_recovery(w, sim.now());
     match w.jobs[j].parent {
         None => {
             w.root_result = Some(output);
             w.done = true;
+            // The run is over: whatever the result table still holds was
+            // never needed.
+            w.report.orphans_expired += w.orphans.len() as u64;
+            w.orphans.clear();
             // Cancel trailing steal polls and timeouts: the run is over and
             // their only effect would be to advance the virtual clock.
             for node in 0..w.cfg.nodes {
@@ -708,9 +935,20 @@ fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
     pgen: u64,
     attempt: u32,
 ) {
-    if !w.nodes[n].alive || w.jobs[p].generation != pgen {
-        // Sender crashed before retransmitting, or the parent was reset by
-        // a crash: recovery re-executes the subtree either way.
+    if !w.nodes[n].alive {
+        // Sender crashed before (re)transmitting; its copy of the result is
+        // gone and recovery re-executes the subtree.
+        return;
+    }
+    if w.jobs[p].generation != pgen {
+        // The parent was reset by a crash, but the sender still holds the
+        // finished child result: salvage it into the global result table
+        // for the re-executed tree to pick up.
+        if w.cfg.orphan_reuse && !w.done {
+            let mut key = path_of(w, p);
+            key.push(idx as u32);
+            stash_orphan(w, key, output, n);
+        }
         return;
     }
     let bytes = w.app.output_bytes(&output);
@@ -761,6 +999,13 @@ fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
                 tr.arrival + delay,
                 move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                     if !w.nodes[home].alive {
+                        // The parent's node died while the result was in
+                        // flight; the sender still holds it — salvage.
+                        if w.cfg.orphan_reuse && !w.done && w.nodes[n].alive {
+                            let mut key = path_of(w, p);
+                            key.push(idx as u32);
+                            stash_orphan(w, key, output, n);
+                        }
                         return;
                     }
                     receive_child(w, sim, p, idx, output, pgen);
@@ -805,6 +1050,7 @@ fn start_combine<A: ClusterApp, L: LeafRuntime<A>>(
     w.nodes[n].busy_cores += 1;
     note_busy_cores(w, sim, n);
     let generation = w.jobs[p].generation;
+    let inc = w.nodes[n].incarnation;
     let input = w.jobs[p].input.clone().expect("waiting job has input");
     let cost = w.app.combine_cost(&input);
     if sim.trace.enabled() {
@@ -818,7 +1064,7 @@ fn start_combine<A: ClusterApp, L: LeafRuntime<A>>(
         );
     }
     sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-        if !w.nodes[n].alive {
+        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
             return;
         }
         if w.jobs[p].generation != generation {
@@ -875,7 +1121,12 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
         }
     }
     let Some(victim) = victim else {
-        // No live victim found (most nodes crashed): poll again later.
+        // No live victim found (most nodes crashed): poll again later with
+        // bounded exponential backoff — each fruitless poll counts as a
+        // steal failure so a mostly-dead cluster is not busy-polled at the
+        // base rate forever (a rejoining node wakes everyone via its tick).
+        w.report.no_victim_polls += 1;
+        w.nodes[thief].steal_failures = w.nodes[thief].steal_failures.saturating_add(1);
         let retry = steal_backoff(w, thief);
         let h = sim.schedule_in(retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
             w.nodes[thief].retry_event = None;
@@ -1002,6 +1253,7 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
                 w.jobs[j].origin_span = steal_span;
             }
             let generation = w.jobs[j].generation;
+            let thief_inc = w.nodes[thief].incarnation;
             // The handshake succeeded; only the bulk transfer remains. The
             // timeout covered the request/reply phase, so disarm it (no-op
             // in fault-free runs, which never arm one).
@@ -1055,8 +1307,10 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
                         if w.jobs[j].generation != generation {
                             return;
                         }
-                        if !w.nodes[thief].alive {
-                            // The thief died while the job was in flight. The
+                        if !w.nodes[thief].alive || w.nodes[thief].incarnation != thief_inc {
+                            // The thief died while the job was in flight
+                            // (and perhaps already rebooted — the transfer's
+                            // connection died with the old incarnation). The
                             // job left the victim's deque, so nobody else
                             // knows about it — bounce it back to a live node
                             // or it is lost and the run never terminates.
@@ -1152,7 +1406,18 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
     if let Some(h) = w.nodes[n].steal_timeout_event.take() {
         sim.cancel(h);
     }
+    w.nodes[n].stealing = false;
+    w.nodes[n].steal_failures = 0;
+    w.nodes[n].steal_seq += 1;
+    w.nodes[n].incarnation += 1;
     w.report.crashes += 1;
+    // Per-node leaf-runtime state (device timelines, pending device jobs,
+    // resident buffers) dies with the node.
+    w.leaf.on_node_crash(n, sim.now());
+    // Table entries physically held by the crashed node are gone.
+    if w.cfg.orphan_reuse {
+        expire_orphans_of(w, n);
+    }
 
     // Restart roots: jobs whose record lives on a healthy node but whose
     // execution was on (or under) the crashed node.
@@ -1205,7 +1470,35 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
         .filter(|&r| !restart.iter().any(|&a| a != r && is_descendant(w, r, a)))
         .collect();
 
+    let crashed_any_root = !roots.is_empty();
     for r in roots {
+        // Before discarding the subtree, salvage what survived: every
+        // already-delivered child output held in a Waiting record whose
+        // home node is alive is a completed subtree result the re-executed
+        // tree can reuse instead of recomputing (Satin's global result
+        // table). The crashed node's own holdings are skipped — they died
+        // with it.
+        if w.cfg.orphan_reuse {
+            let mut scan = vec![r];
+            while let Some(q) = scan.pop() {
+                scan.extend(w.jobs[q].children.iter().copied());
+                if w.jobs[q].state != JobState::Waiting {
+                    continue;
+                }
+                let holder = w.jobs[q].home_node;
+                if holder == n || !w.nodes[holder].alive {
+                    continue;
+                }
+                let base = path_of(w, q);
+                for idx in 0..w.jobs[q].child_outputs.len() {
+                    if let Some(out) = w.jobs[q].child_outputs[idx].clone() {
+                        let mut key = base.clone();
+                        key.push(idx as u32);
+                        stash_orphan(w, key, out, holder);
+                    }
+                }
+            }
+        }
         // Discard the subtree below r and re-queue r at its home node.
         let mut stack: Vec<usize> = w.jobs[r].children.clone();
         while let Some(c) = stack.pop() {
@@ -1227,13 +1520,58 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
         w.jobs[r].exec_node = home;
         w.jobs[r].replay = true;
         w.report.jobs_restarted += 1;
+        if !w.recovery_outstanding.contains(&r) {
+            w.recovery_outstanding.push(r);
+        }
         w.nodes[home].deque.push_back(Task::Job(r));
         schedule_tick(w, sim, home);
+    }
+    if crashed_any_root {
+        // A new recovery episode begins (or the current one widens). Roots
+        // superseded by this crash just went Lost — drop them first.
+        note_recovery(w, sim.now());
+        if !w.recovery_outstanding.is_empty() && w.recovering_since.is_none() {
+            w.recovering_since = Some(sim.now());
+        }
     }
     // Wake everyone: sudden loss of a victim must not deadlock thieves.
     for k in 0..w.cfg.nodes {
         if w.nodes[k].alive {
             schedule_tick(w, sim, k);
+        }
+    }
+}
+
+/// Node `n` (re)joins the cluster: it comes up empty — clean deque, fresh
+/// steal state, a fresh NIC — re-registers its leaf-runtime devices, and
+/// immediately re-enters steal victim sets (victim selection only checks
+/// liveness). Joining an already-live node is a no-op.
+fn join<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L>, n: usize) {
+    if w.nodes[n].alive {
+        return;
+    }
+    w.nodes[n].alive = true;
+    w.nodes[n].deque.clear();
+    w.nodes[n].busy_cores = 0;
+    w.nodes[n].running_leaves = 0;
+    w.nodes[n].stealing = false;
+    w.nodes[n].steal_failures = 0;
+    w.nodes[n].steal_seq += 1;
+    w.nodes[n].steal_started = SimTime::ZERO;
+    // A rebooted node has no half-open connections: reset its NIC.
+    w.nics[n] = NodeNic::default();
+    w.report.joins += 1;
+    note_busy_cores(w, sim, n);
+    // Bring the node's leaf runtime back up (re-register devices, rebuild
+    // its balancer).
+    w.leaf.on_node_join(n, sim.now());
+    if !w.done {
+        // Wake everyone: backed-off thieves should notice the new victim
+        // promptly, and the joiner itself starts stealing.
+        for k in 0..w.cfg.nodes {
+            if w.nodes[k].alive {
+                schedule_tick(w, sim, k);
+            }
         }
     }
 }

@@ -303,4 +303,166 @@ mod tests {
         assert!(r.makespan < SimTime::from_millis(120), "{}", r.makespan);
         assert!(r.makespan >= SimTime::from_millis(70), "{}", r.makespan);
     }
+
+    #[test]
+    fn orphan_reuse_recovers_faster_than_reexecution() {
+        // Two mid-run crashes on a 4-node cluster; the reuse arm must
+        // salvage completed subtree results and strictly beat the
+        // re-execute-everything ablation on both makespan and redone work.
+        let arm = |reuse: bool| {
+            let mut cs = ClusterSim::new(
+                SumApp { grain: 1_000 },
+                cpu_leaf(),
+                SimConfig {
+                    nodes: 4,
+                    seed: 2,
+                    orphan_reuse: reuse,
+                    ..SimConfig::default()
+                },
+            );
+            cs.schedule_crash(2, SimTime::from_millis(3)).unwrap();
+            cs.schedule_crash(3, SimTime::from_millis(5)).unwrap();
+            let out = cs.run_root((0, N));
+            assert_eq!(out, EXPECT, "answer correct with reuse={reuse}");
+            let r = cs.report().clone();
+            if reuse {
+                assert!(r.orphans_harvested > 0, "crash must orphan results");
+                assert!(r.orphans_reused > 0, "orphans must be reused");
+            } else {
+                assert_eq!(r.orphans_harvested, 0, "ablation harvests nothing");
+                assert_eq!(r.orphans_reused, 0);
+            }
+            r
+        };
+        let on = arm(true);
+        let off = arm(false);
+        assert!(
+            on.makespan < off.makespan,
+            "reuse must strictly improve the makespan: {} vs {}",
+            on.makespan,
+            off.makespan
+        );
+        assert!(
+            on.recovery_time < off.recovery_time,
+            "reuse must redo strictly less work: {} vs {}",
+            on.recovery_time,
+            off.recovery_time
+        );
+        assert!(on.time_to_recover > SimTime::ZERO, "episode was timed");
+    }
+
+    #[test]
+    fn orphan_reuse_off_is_default_independent() {
+        // A fault-free run is byte-identical whichever way the knob is set:
+        // the table only fills (and the reuse probe only fires) once a
+        // crash actually orphans something.
+        let run = |reuse: bool| {
+            let mut cs = ClusterSim::new(
+                SumApp { grain: 1_000 },
+                cpu_leaf(),
+                SimConfig {
+                    nodes: 4,
+                    seed: 9,
+                    orphan_reuse: reuse,
+                    ..SimConfig::default()
+                },
+            );
+            let out = cs.run_root((0, N));
+            (out, cs.report().makespan, cs.report().steals_ok)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn double_crash_of_a_node_is_a_counted_once_noop() {
+        // Scheduling a second crash for an already-dead node must not
+        // double-count `report.crashes` (documented no-op).
+        let mut cs = ClusterSim::new(SumApp { grain: 1_000 }, cpu_leaf(), config(4, 3));
+        cs.schedule_crash(2, SimTime::from_millis(3)).unwrap();
+        cs.schedule_crash(2, SimTime::from_millis(4)).unwrap();
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        assert_eq!(cs.report().crashes, 1, "second crash is a no-op");
+    }
+
+    #[test]
+    fn rejoined_node_reenters_the_cluster() {
+        let mut cs = ClusterSim::new(SumApp { grain: 1_000 }, cpu_leaf(), config(4, 2));
+        cs.schedule_crash(2, SimTime::from_millis(3)).unwrap();
+        cs.schedule_join(2, SimTime::from_millis(6)).unwrap();
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let r = cs.report();
+        assert_eq!(r.crashes, 1);
+        assert_eq!(r.joins, 1);
+        // The rejoined node went back to work: it accumulated busy time
+        // after the join (its pre-crash busy time was under 3 ms).
+        assert!(
+            r.node_busy[2] > SimTime::from_millis(3),
+            "rejoined node busy for {}",
+            r.node_busy[2]
+        );
+    }
+
+    #[test]
+    fn node_with_leading_join_starts_offline() {
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 1_000 },
+            cpu_leaf(),
+            SimConfig {
+                nodes: 3,
+                seed: 4,
+                faults: cashmere_des::FaultPlan {
+                    node_joins: vec![cashmere_des::NodeJoin {
+                        node: 2,
+                        at: SimTime::from_millis(5),
+                    }],
+                    ..cashmere_des::FaultPlan::default()
+                },
+                ..SimConfig::default()
+            },
+        );
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let r = cs.report();
+        assert_eq!(r.joins, 1, "fresh join counted");
+        assert_eq!(r.crashes, 0);
+        assert!(
+            r.node_busy[2] > SimTime::ZERO,
+            "late joiner still contributed work"
+        );
+    }
+
+    #[test]
+    fn no_victim_polls_back_off_instead_of_busy_polling() {
+        // One async-device master alone in the cluster (its only peer dies
+        // immediately): every idle moment triggers a steal attempt that
+        // finds no live victim. With exponential backoff the poll count
+        // stays logarithmic in the wait, far under the fixed-cadence count
+        // (kernel time / steal_retry = 10 ms / 200 µs = 50 polls per leaf).
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 100_000 },
+            FakeDeviceRuntime {
+                engines: vec![SimTime::ZERO; 2],
+                next: 0,
+                kernel: SimTime::from_millis(10),
+            },
+            SimConfig {
+                nodes: 2,
+                cores_per_node: 1,
+                seed: 1,
+                ..SimConfig::default()
+            },
+        );
+        cs.schedule_crash(1, SimTime::from_micros(1)).unwrap();
+        let out = cs.run_root((0, N));
+        assert_eq!(out, EXPECT);
+        let r = cs.report();
+        assert!(r.no_victim_polls > 0, "the no-victim path must be hit");
+        assert!(
+            r.no_victim_polls < 40,
+            "{} polls — no-victim loop is busy-polling instead of backing off",
+            r.no_victim_polls
+        );
+    }
 }

@@ -72,6 +72,19 @@ pub struct RunReport {
     pub bytes_broadcast: u64,
     pub crashes: u64,
     pub jobs_restarted: u64,
+    /// Nodes that (re)joined the cluster mid-run.
+    pub joins: u64,
+    // --- orphan-result reuse (graceful recovery) ---
+    /// Completed subtree results salvaged into the global result table when
+    /// their subtree was orphaned by a crash.
+    pub orphans_harvested: u64,
+    /// Salvaged results reused instead of re-executing their subtree.
+    pub orphans_reused: u64,
+    /// Salvaged results dropped because their holder crashed (or the run
+    /// ended) before they could be reused.
+    pub orphans_expired: u64,
+    /// Bytes moved to fetch reused orphan results from their holders.
+    pub bytes_orphans: u64,
     // --- failure accounting (fault-injection subsystem) ---
     /// Devices permanently lost to injected failures.
     pub devices_lost: u64,
@@ -90,9 +103,16 @@ pub struct RunReport {
     pub steal_timeouts: u64,
     /// Retransmissions of result-return messages after a loss.
     pub result_retransmits: u64,
+    /// Steal-loop polls that found no live victim (most of the cluster
+    /// dead); these back off exponentially rather than busy-poll.
+    pub no_victim_polls: u64,
     /// Virtual time spent redoing work: compute of re-executed subtrees
     /// plus device time lost in aborted jobs.
     pub recovery_time: SimTime,
+    /// Wall (virtual) time during which at least one crash-restarted
+    /// subtree was still outstanding: how long the run took to return to a
+    /// fully recovered state.
+    pub time_to_recover: SimTime,
     /// Accumulated compute-busy time per node.
     pub node_busy: Vec<SimTime>,
 }
@@ -112,6 +132,11 @@ impl RunReport {
             bytes_broadcast: 0,
             crashes: 0,
             jobs_restarted: 0,
+            joins: 0,
+            orphans_harvested: 0,
+            orphans_reused: 0,
+            orphans_expired: 0,
+            bytes_orphans: 0,
             devices_lost: 0,
             launch_retries: 0,
             device_aborts: 0,
@@ -120,7 +145,9 @@ impl RunReport {
             latency_spikes: 0,
             steal_timeouts: 0,
             result_retransmits: 0,
+            no_victim_polls: 0,
             recovery_time: SimTime::ZERO,
+            time_to_recover: SimTime::ZERO,
             node_busy: vec![SimTime::ZERO; nodes],
         }
     }
@@ -128,6 +155,7 @@ impl RunReport {
     /// Did the run observe any injected failure at all?
     pub fn saw_failures(&self) -> bool {
         self.crashes > 0
+            || self.joins > 0
             || self.devices_lost > 0
             || self.launch_retries > 0
             || self.messages_lost > 0
@@ -140,8 +168,15 @@ impl RunReport {
             (
                 "failures".to_string(),
                 format!(
-                    "{} crashes, {} devices lost, {} jobs re-executed",
-                    self.crashes, self.devices_lost, self.jobs_restarted
+                    "{} crashes, {} joins, {} devices lost, {} jobs re-executed",
+                    self.crashes, self.joins, self.devices_lost, self.jobs_restarted
+                ),
+            ),
+            (
+                "orphan results".to_string(),
+                format!(
+                    "{} harvested, {} reused, {} expired",
+                    self.orphans_harvested, self.orphans_reused, self.orphans_expired
                 ),
             ),
             (
@@ -163,7 +198,10 @@ impl RunReport {
             ),
             (
                 "recovery virtual-time cost".to_string(),
-                format!("{}", self.recovery_time),
+                format!(
+                    "{} redone work, {} to recover",
+                    self.recovery_time, self.time_to_recover
+                ),
             ),
         ])
     }

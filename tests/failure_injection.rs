@@ -4,7 +4,7 @@
 //! the exact answer (paper Sec. II-A: "Satin recovers from nodes that are
 //! no longer responding"), and fault runs must replay byte-for-byte.
 
-use cashmere_des::fault::{FaultPlan, LinkFault, NodeCrash};
+use cashmere_des::fault::{FaultPlan, LinkFault, NodeCrash, NodeJoin};
 use cashmere_des::SimTime;
 use cashmere_satin::{ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, SimConfig};
 use proptest::prelude::*;
@@ -246,4 +246,114 @@ proptest! {
         let out = cs.run_root((0, total));
         prop_assert_eq!(out, total * (total - 1) / 2);
     }
+
+    /// Random survivable crash/join interleavings: each worker node gets an
+    /// independent lifecycle (up; crash; crash then rejoin; crash, rejoin,
+    /// crash again; or start offline and join late). Whatever the
+    /// interleaving, the answer is exact — each leaf range contributes to
+    /// the sum exactly once (any double-count or drop changes the total,
+    /// because every range sums to a distinct value).
+    #[test]
+    fn any_crash_join_interleaving_counts_each_leaf_once(
+        nodes in 3usize..6,
+        lifecycles in prop::collection::vec(0usize..5, 5..6),
+        t_base in prop::collection::vec(1u64..25, 5..6),
+        seed in 0u64..200,
+    ) {
+        let mut plan = FaultPlan::default();
+        for n in 1..nodes {
+            let t0 = SimTime::from_millis(t_base[n - 1]);
+            let t1 = t0 + SimTime::from_millis(4);
+            let t2 = t1 + SimTime::from_millis(4);
+            match lifecycles[n - 1] {
+                // 0: stays up the whole run.
+                1 => plan.node_crashes.push(NodeCrash { node: n, at: t0 }),
+                2 => {
+                    plan.node_crashes.push(NodeCrash { node: n, at: t0 });
+                    plan.node_joins.push(NodeJoin { node: n, at: t1 });
+                }
+                3 => {
+                    plan.node_crashes.push(NodeCrash { node: n, at: t0 });
+                    plan.node_joins.push(NodeJoin { node: n, at: t1 });
+                    plan.node_crashes.push(NodeCrash { node: n, at: t2 });
+                }
+                4 => plan.node_joins.push(NodeJoin { node: n, at: t0 }),
+                _ => {}
+            }
+        }
+        prop_assert!(plan.validate(nodes).is_ok());
+        let total = 60_000u64;
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 1_000 },
+            leaf(),
+            SimConfig { nodes, seed, faults: plan, ..SimConfig::default() },
+        );
+        let out = cs.run_root((0, total));
+        prop_assert_eq!(out, total * (total - 1) / 2);
+    }
+}
+
+/// A fixed chaos-style plan — two crashes, one rejoin, a lossy window —
+/// replays byte-for-byte, and this seed actually exercises the orphan
+/// table (harvested and reused results both non-zero).
+#[test]
+fn fixed_chaos_seed_replays_byte_for_byte() {
+    let plan = FaultPlan {
+        node_crashes: vec![
+            NodeCrash {
+                node: 2,
+                at: SimTime::from_millis(3),
+            },
+            NodeCrash {
+                node: 3,
+                at: SimTime::from_millis(5),
+            },
+        ],
+        node_joins: vec![NodeJoin {
+            node: 2,
+            at: SimTime::from_millis(8),
+        }],
+        link_faults: vec![LinkFault {
+            src: None,
+            dst: None,
+            from: SimTime::from_millis(1),
+            until: SimTime::from_millis(12),
+            loss: 0.15,
+            spike: SimTime::from_micros(300),
+            spike_probability: 0.2,
+        }],
+        ..FaultPlan::default()
+    };
+    // A longer run than `run_to_json`'s so the crashes land mid-tree and
+    // actually orphan completed subtree results.
+    let run = || {
+        let total = 200_000u64;
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 1_000 },
+            leaf(),
+            SimConfig {
+                nodes: 4,
+                seed: 2,
+                faults: plan.clone(),
+                ..SimConfig::default()
+            },
+        );
+        let out = cs.run_root((0, total));
+        assert_eq!(out, total * (total - 1) / 2);
+        (out, serde_json::to_string(cs.report()).unwrap())
+    };
+    let (out, report) = run();
+    assert_eq!(
+        (out, report.clone()),
+        run(),
+        "chaos runs must replay exactly"
+    );
+    let parsed: cashmere_satin::RunReport = serde_json::from_str(&report).unwrap();
+    assert_eq!(parsed.crashes, 2, "{}", parsed.failure_summary());
+    assert_eq!(parsed.joins, 1, "{}", parsed.failure_summary());
+    assert!(
+        parsed.orphans_harvested > 0 && parsed.orphans_reused > 0,
+        "this seed must exercise the orphan table: {}",
+        parsed.failure_summary()
+    );
 }

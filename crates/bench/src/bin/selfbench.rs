@@ -27,14 +27,17 @@
 //!
 //! With `--check`, the previously committed `BENCH_sim.json` is read
 //! *before* being overwritten and the run fails (exit 1) if engine
-//! events/sec regressed more than 30% against it — the CI smoke gate.
-//! `--quick` shrinks repetition counts for CI.
+//! events/sec regressed more than 30% against it — the CI smoke gate. A
+//! failure prints a counters-only [`RunDiff`] digest ranking which measured
+//! quantity moved the most, so the log explains the regression instead of
+//! just flagging it. `--quick` shrinks repetition counts for CI.
 
 use cashmere::ClusterSpec;
 use cashmere_apps::KernelSet;
 use cashmere_bench::{
     cli, default_jobs, kernel_gflops, run_scenario, sweep, AppId, Scenario, Series,
 };
+use cashmere_des::obs::{RunDiff, RunFingerprint};
 use cashmere_des::{Sim, SimTime};
 use cashmere_hwdesc::DeviceKind;
 use serde::{Deserialize, Serialize};
@@ -247,6 +250,30 @@ fn measure_bins(quick: bool) -> BinNumbers {
     }
 }
 
+/// The measured quantities as a flat counter map, for the regression
+/// explainer's counters-only diff on a failed `--check`.
+fn perf_counters(b: &SelfBench) -> std::collections::BTreeMap<String, f64> {
+    [
+        ("engine.events_per_sec", b.engine.events_per_sec),
+        (
+            "engine.schedule_run_events_per_sec",
+            b.engine.schedule_run_events_per_sec,
+        ),
+        ("engine.churn_events_per_sec", b.engine.churn_events_per_sec),
+        (
+            "engine.schedule_cancel_ops_per_sec",
+            b.engine.schedule_cancel_ops_per_sec,
+        ),
+        ("sweep.wall_s_jobs1", b.sweep.wall_s_jobs1),
+        ("sweep.wall_s_jobs_n", b.sweep.wall_s_jobs_n),
+        ("bins.scaling_kmeans_wall_s", b.bins.scaling_kmeans_wall_s),
+        ("bins.fig6_kernels_wall_s", b.bins.fig6_kernels_wall_s),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
 fn bench_path() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();
@@ -348,6 +375,14 @@ fn main() {
                 // noise on shared CI runners.
                 if ratio < 0.70 {
                     eprintln!("check FAILED: engine events/sec regressed more than 30%");
+                    // Explain the failure: which measured quantity moved
+                    // the most, ranked — the same digest the `diff` bin
+                    // prints for cluster runs.
+                    let d = RunDiff::compute(
+                        &RunFingerprint::counters_only("committed baseline", perf_counters(&base)),
+                        &RunFingerprint::counters_only("this run", perf_counters(&result)),
+                    );
+                    eprint!("{}", d.digest());
                     std::process::exit(1);
                 }
                 println!("check OK");

@@ -10,6 +10,7 @@
 //! | `hetero`  | Table III + Fig. 15 — heterogeneous GFLOPS and efficiency |
 //! | `gantt`   | Figs. 16/17 — Gantt charts of the heterogeneous K-means run |
 //! | `advisor` | What-if ranking: virtual-speedup re-executions, utilization, counterfactuals |
+//! | `diff`    | Regression explainer — re-runs two scenarios/artifacts and attributes the makespan delta |
 //!
 //! All binaries print the series the paper plots and write JSON to
 //! `bench/out/`. Runs are deterministic (fixed seeds, virtual time).
@@ -25,7 +26,9 @@ pub use advisor::{
     advise, AdvisorFull, AdvisorJson, AdvisorRun, CounterfactualSummary, LaneSummary, PerturbSet,
     UtilizationSummary,
 };
-pub use obs::{labeled_path, obs_args, report_run, ObsArgs, ObsCapture};
+pub use obs::{
+    fingerprint, labeled_path, obs_args, parse_simtime, report_run, ObsArgs, ObsCapture,
+};
 pub use output::{write_json, write_report, Table};
 pub use runners::{kernel_gflops, AppId, RecoverySummary, RunOutcome, Series};
 pub use scenario::cli::{self, load_fault_plan, CommonArgs};

@@ -8,16 +8,22 @@
 //! * `--explain` — print the critical-path analysis, the metrics summary,
 //!   and a balancer-decision digest after the run;
 //! * `--metrics-out <out.txt>` — dump the metrics registry in OpenMetrics
-//!   text exposition format for scrape-style tooling.
+//!   text exposition format for scrape-style tooling;
+//! * `--probe <interval>` — run the flight recorder at the given
+//!   virtual-time cadence (`500us`, `1ms`, `2s`, or raw nanoseconds) and
+//!   write the sampled series as CSV plus OpenMetrics (`.om`) and Chrome
+//!   counter-track (`.trace.json`) siblings;
+//! * `--probe-out <path>` — where the probe CSV goes (defaults to
+//!   `probes.csv` when only `--probe` is given).
 //!
 //! Bins that execute several runs (scaling sweeps, ablations) derive one
 //! trace file per run by inserting the run label before the extension.
 
 use cashmere::AuditEntry;
-use cashmere_des::obs::{CriticalPath, MetricsRegistry};
+use cashmere_des::obs::{CriticalPath, MetricsRegistry, ProbeSeries, RunFingerprint};
 use cashmere_des::trace::Trace;
 use cashmere_des::SimTime;
-use cashmere_satin::critical_path_summary;
+use cashmere_satin::{critical_path_summary, RunReport};
 
 /// Parsed observability flags.
 #[derive(Debug, Clone, Default)]
@@ -28,13 +34,41 @@ pub struct ObsArgs {
     pub explain: bool,
     /// OpenMetrics text output path (`--metrics-out <path>`).
     pub metrics_out: Option<String>,
+    /// Flight-recorder cadence (`--probe <interval>`).
+    pub probe: Option<SimTime>,
+    /// Probe series CSV output path (`--probe-out <path>`).
+    pub probe_out: Option<String>,
 }
 
 impl ObsArgs {
     /// Does the run need tracing enabled at all?
     pub fn enabled(&self) -> bool {
-        self.trace_path.is_some() || self.explain || self.metrics_out.is_some()
+        self.trace_path.is_some()
+            || self.explain
+            || self.metrics_out.is_some()
+            || self.probe.is_some()
+            || self.probe_out.is_some()
     }
+}
+
+/// Parse a virtual-time span: `120ns`, `500us`, `1ms`, `2s`, or a raw
+/// nanosecond count. Zero is rejected (a zero-cadence probe would never
+/// let the run finish).
+pub fn parse_simtime(s: &str) -> Option<SimTime> {
+    let (digits, scale) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1_000)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let n: u64 = digits.parse().ok()?;
+    let ns = n.checked_mul(scale)?;
+    (ns > 0).then(|| SimTime::from_nanos(ns))
 }
 
 /// Split `--trace <path>` and `--explain` out of `args` (argv[0]
@@ -62,8 +96,25 @@ pub fn obs_args(args: Vec<String>) -> (ObsArgs, Vec<String>) {
                 };
                 obs.metrics_out = Some(path);
             }
+            "--probe" => {
+                let Some(iv) = it.next().as_deref().and_then(parse_simtime) else {
+                    eprintln!("--probe requires a positive interval (e.g. --probe 1ms)");
+                    std::process::exit(2);
+                };
+                obs.probe = Some(iv);
+            }
+            "--probe-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--probe-out requires an output path (e.g. --probe-out probes.csv)");
+                    std::process::exit(2);
+                };
+                obs.probe_out = Some(path);
+            }
             _ => rest.push(a),
         }
+    }
+    if obs.probe.is_some() && obs.probe_out.is_none() {
+        obs.probe_out = Some("probes.csv".to_string());
     }
     (obs, rest)
 }
@@ -75,10 +126,64 @@ pub struct ObsCapture {
     pub trace: Trace,
     pub metrics: MetricsRegistry,
     pub audit: Vec<AuditEntry>,
-    /// End of the last recorded span — the virtual-time horizon the
-    /// critical path is measured against (covers every iteration, unlike
-    /// the per-run makespan).
+    /// The run's end-of-run counters (makespan, steals, recovery, per-node
+    /// busy time) — the scalar side of a run fingerprint.
+    pub report: RunReport,
+    /// Flight-recorder series (`Some` when a probe interval was set).
+    pub probes: Option<ProbeSeries>,
+    /// The virtual-time horizon summaries are measured against: the run
+    /// end (total time across every iteration), never shorter than the
+    /// last recorded span — so time-weighted gauges include the closing
+    /// segment between their last update and the finish.
     pub horizon: SimTime,
+}
+
+/// Build a [`RunFingerprint`] for the regression explainer from one
+/// captured run: makespan, critical-path kind breakdown, per-node busy
+/// time, the report's scalar counters, and the probe series if one was
+/// recorded. `makespan_s` comes from the outcome (it covers every
+/// iteration, unlike the report's last-root makespan).
+pub fn fingerprint(label: &str, makespan_s: f64, cap: &ObsCapture) -> RunFingerprint {
+    let cp = CriticalPath::compute(&cap.trace);
+    let r = &cap.report;
+    let mut counters = std::collections::BTreeMap::new();
+    for (key, v) in [
+        ("jobs_created", r.jobs_created),
+        ("divides", r.divides),
+        ("leaves", r.leaves),
+        ("steal_attempts", r.steal_attempts),
+        ("steals_ok", r.steals_ok),
+        ("bytes_stolen", r.bytes_stolen),
+        ("bytes_results", r.bytes_results),
+        ("bytes_broadcast", r.bytes_broadcast),
+        ("crashes", r.crashes),
+        ("jobs_restarted", r.jobs_restarted),
+        ("joins", r.joins),
+        ("orphans_harvested", r.orphans_harvested),
+        ("orphans_reused", r.orphans_reused),
+        ("orphans_expired", r.orphans_expired),
+        ("devices_lost", r.devices_lost),
+        ("launch_retries", r.launch_retries),
+        ("fault_cpu_fallbacks", r.fault_cpu_fallbacks),
+        ("messages_lost", r.messages_lost),
+        ("steal_timeouts", r.steal_timeouts),
+        ("result_retransmits", r.result_retransmits),
+    ] {
+        counters.insert(key.to_string(), v as f64);
+    }
+    counters.insert("recovery_time_s".to_string(), r.recovery_time.as_secs_f64());
+    counters.insert(
+        "time_to_recover_s".to_string(),
+        r.time_to_recover.as_secs_f64(),
+    );
+    RunFingerprint {
+        label: label.to_string(),
+        makespan: SimTime::from_secs_f64(makespan_s),
+        crit: cp.by_kind,
+        node_busy: r.node_busy.clone(),
+        counters,
+        probes: cap.probes.clone(),
+    }
 }
 
 /// Insert `label` before the extension of `base`:
@@ -144,6 +249,16 @@ pub fn report_run(obs: &ObsArgs, label: &str, cap: &ObsCapture) {
             Err(e) => eprintln!("warning: cannot write {path}: {e}"),
         }
     }
+    if let (Some(base), Some(p)) = (&obs.probe_out, &cap.probes) {
+        let path = labeled_path(base, label);
+        let write = |path: &str, contents: String| match std::fs::write(path, contents) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        };
+        write(&path, p.to_csv());
+        write(&format!("{path}.om"), p.to_openmetrics());
+        write(&format!("{path}.trace.json"), p.to_chrome_json());
+    }
     if obs.explain {
         let header = if label.is_empty() {
             "--- explain ---".to_string()
@@ -158,6 +273,14 @@ pub fn report_run(obs: &ObsArgs, label: &str, cap: &ObsCapture) {
         }
         if !cap.audit.is_empty() {
             println!("{}", audit_digest(&cap.audit));
+        }
+        if let Some(p) = &cap.probes {
+            println!(
+                "flight recorder: {} ticks x {} columns @ {}",
+                p.len(),
+                p.columns.len(),
+                p.interval
+            );
         }
     }
 }
@@ -191,6 +314,29 @@ mod tests {
         assert!(obs.explain);
         assert!(obs.enabled());
         assert_eq!(rest, vec!["bin".to_string(), "--small".to_string()]);
+    }
+
+    #[test]
+    fn parse_simtime_units_and_rejects() {
+        assert_eq!(parse_simtime("500us"), Some(SimTime::from_micros(500)));
+        assert_eq!(parse_simtime("1ms"), Some(SimTime::from_millis(1)));
+        assert_eq!(parse_simtime("2s"), Some(SimTime::from_secs(2)));
+        assert_eq!(parse_simtime("120ns"), Some(SimTime::from_nanos(120)));
+        assert_eq!(parse_simtime("123456"), Some(SimTime::from_nanos(123_456)));
+        assert_eq!(parse_simtime("0"), None, "zero cadence is rejected");
+        assert_eq!(parse_simtime("0ms"), None);
+        assert_eq!(parse_simtime("abc"), None);
+        assert_eq!(parse_simtime("1.5ms"), None, "whole numbers only");
+    }
+
+    #[test]
+    fn probe_flag_defaults_its_output_path() {
+        let argv = vec!["bin".to_string(), "--probe".to_string(), "1ms".to_string()];
+        let (obs, rest) = obs_args(argv);
+        assert_eq!(obs.probe, Some(SimTime::from_millis(1)));
+        assert_eq!(obs.probe_out.as_deref(), Some("probes.csv"));
+        assert!(obs.enabled());
+        assert_eq!(rest, vec!["bin".to_string()]);
     }
 
     #[test]

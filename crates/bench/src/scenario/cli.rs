@@ -96,13 +96,20 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
 }
 
 /// Apply the CLI overrides to a preset (or loaded) scenario: `--policy`,
-/// `--faults`, and in-memory capture when any observability flag is set.
+/// `--faults`, `--probe`/`--probe-out`, and in-memory capture when any
+/// observability flag is set.
 pub fn apply_overrides(mut sc: Scenario, common: &CommonArgs) -> Scenario {
     if let Some(p) = common.policy {
         sc.policy = p;
     }
     if !common.faults.is_empty() {
         sc.faults = Some(common.faults.clone());
+    }
+    if common.obs.probe.is_some() {
+        sc.outputs.probe_interval = common.obs.probe;
+    }
+    if common.obs.probe_out.is_some() {
+        sc.outputs.probe_out.clone_from(&common.obs.probe_out);
     }
     if common.obs.enabled() {
         sc.outputs.capture = true;
@@ -178,7 +185,12 @@ pub fn handle_scenario(common: &CommonArgs) -> bool {
         println!();
     }
     if let Some(cap) = &run.cap {
-        report_run(&common.obs, &sc.name, cap);
+        // The spec's own probe output path applies when no CLI flag beat it.
+        let mut obs = common.obs.clone();
+        if obs.probe_out.is_none() {
+            obs.probe_out.clone_from(&sc.outputs.probe_out);
+        }
+        report_run(&obs, &sc.name, cap);
     }
     let report = ScenarioReport::new(&sc, run.outcome);
     let path = match &sc.outputs.report {

@@ -243,6 +243,12 @@ pub struct OutputSpec {
     pub explain: bool,
     /// OpenMetrics text exposition output path.
     pub metrics_out: Option<String>,
+    /// Flight-recorder cadence: sample cluster state into a probe series
+    /// every this much virtual time (nanoseconds in JSON). Implies capture.
+    pub probe_interval: Option<SimTime>,
+    /// Probe series CSV output path (`.om` / `.trace.json` siblings are
+    /// derived from it).
+    pub probe_out: Option<String>,
     /// Provenance-bearing report path; `None` uses
     /// `bench/out/scenario_<name>.json`.
     pub report: Option<String>,
@@ -251,7 +257,12 @@ pub struct OutputSpec {
 impl OutputSpec {
     /// Does the run need tracing enabled at all?
     pub fn observe(&self) -> bool {
-        self.capture || self.trace.is_some() || self.explain || self.metrics_out.is_some()
+        self.capture
+            || self.trace.is_some()
+            || self.explain
+            || self.metrics_out.is_some()
+            || self.probe_interval.is_some()
+            || self.probe_out.is_some()
     }
 }
 
@@ -262,6 +273,8 @@ impl Serialize for OutputSpec {
             (skey("trace"), self.trace.to_content()),
             (skey("explain"), self.explain.to_content()),
             (skey("metrics_out"), self.metrics_out.to_content()),
+            (skey("probe_interval"), self.probe_interval.to_content()),
+            (skey("probe_out"), self.probe_out.to_content()),
             (skey("report"), self.report.to_content()),
         ])
     }
@@ -275,7 +288,15 @@ impl Deserialize for OutputSpec {
             .ok_or_else(|| DeError::expected("map", TY, content))?;
         check_fields(
             m,
-            &["capture", "trace", "explain", "metrics_out", "report"],
+            &[
+                "capture",
+                "trace",
+                "explain",
+                "metrics_out",
+                "probe_interval",
+                "probe_out",
+                "report",
+            ],
             TY,
         )?;
         Ok(OutputSpec {
@@ -283,6 +304,8 @@ impl Deserialize for OutputSpec {
             trace: opt_field(m, "trace")?,
             explain: opt_field(m, "explain")?.unwrap_or_default(),
             metrics_out: opt_field(m, "metrics_out")?,
+            probe_interval: opt_field(m, "probe_interval")?,
+            probe_out: opt_field(m, "probe_out")?,
             report: opt_field(m, "report")?,
         })
     }
@@ -574,6 +597,12 @@ impl Scenario {
         self
     }
 
+    /// Run the flight recorder at the given cadence (implies capture).
+    pub fn with_probe(mut self, interval: SimTime) -> Scenario {
+        self.outputs.probe_interval = Some(interval);
+        self
+    }
+
     /// The scenario as embedded in provenance blocks: outputs stripped,
     /// because the generating invocation's observability flags are not part
     /// of the experiment (and must not change artifact bytes).
@@ -724,6 +753,9 @@ impl Scenario {
             plan.validate(self.nodes.len())
                 .map_err(|e| format!("fault plan: {e}"))?;
         }
+        if self.outputs.probe_interval == Some(SimTime::ZERO) {
+            return Err("outputs.probe_interval must be positive".into());
+        }
         if let Some(set) = &self.perturb {
             for p in &set.items {
                 if !(p.factor.is_finite() && p.factor > 0.0) {
@@ -780,6 +812,7 @@ impl Scenario {
             }),
             orphan_reuse: self.orphan_reuse,
             trace: self.observe(),
+            probe_interval: self.outputs.probe_interval,
             ..SimConfig::default()
         };
         // Fault plans that do not validate for this cluster size (e.g.
@@ -879,8 +912,8 @@ fn failures_of(r: &RunReport) -> (Option<String>, Option<RecoverySummary>) {
     )
 }
 
-/// Clone the observability exports (span trace, metrics, audit log) out of
-/// a finished run, when observing.
+/// Clone the observability exports (span trace, metrics, audit log, run
+/// report, probe series) out of a finished run, when observing.
 fn capture_of<A: ClusterApp, L: LeafRuntime<A>>(
     on: bool,
     cs: &ClusterSim<A, L>,
@@ -890,7 +923,12 @@ fn capture_of<A: ClusterApp, L: LeafRuntime<A>>(
         trace: cs.trace().clone(),
         metrics: cs.metrics().clone(),
         audit,
-        horizon: cs.trace().horizon(),
+        report: cs.report().clone(),
+        probes: cs.probe_series().cloned(),
+        // Finalize against the run end, not just the last recorded span:
+        // time-weighted gauge means must include the closing segment
+        // between their last update and the finish.
+        horizon: cs.trace().horizon().max(cs.report().total_time),
     })
 }
 

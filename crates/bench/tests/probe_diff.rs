@@ -1,0 +1,140 @@
+//! Flight recorder + regression explainer, end to end at the bench layer:
+//! probe series are byte-identical at any `--jobs` width, enabling the
+//! recorder changes no simulated outcome, a run diffed against itself is
+//! exactly zero, and a perturbed run's makespan delta is attributed to the
+//! perturbed factor.
+
+use cashmere::ClusterSpec;
+use cashmere_bench::{fingerprint, run_scenario, sweep, AppId, PerturbSet, Problem, Scenario};
+use cashmere_des::fault::{FaultPlan, LinkFault, NodeCrash, NodeJoin};
+use cashmere_des::obs::RunDiff;
+use cashmere_des::SimTime;
+
+fn small() -> Scenario {
+    Scenario::new(
+        "probe-test",
+        AppId::Kmeans,
+        cashmere_bench::Series::CashmereOpt,
+        &ClusterSpec::homogeneous(2, "gtx480"),
+    )
+    .with_problem(Problem::Kmeans {
+        n: 1_000_000,
+        k: 256,
+        d: 4,
+        iterations: 1,
+    })
+    .with_grain(125_000)
+}
+
+/// A crash + rejoin + lossy-link scenario: the hardest case for probe
+/// determinism, since the sampler ticks through the fault window.
+fn faulted() -> Scenario {
+    small().named("probe-test-faulted").with_faults(FaultPlan {
+        node_crashes: vec![NodeCrash {
+            node: 1,
+            at: SimTime::from_millis(2),
+        }],
+        node_joins: vec![NodeJoin {
+            node: 1,
+            at: SimTime::from_millis(7),
+        }],
+        link_faults: vec![LinkFault {
+            src: None,
+            dst: Some(0),
+            from: SimTime::from_millis(1),
+            until: SimTime::from_millis(10),
+            loss: 0.1,
+            spike: SimTime::from_micros(200),
+            spike_probability: 0.2,
+        }],
+        ..FaultPlan::default()
+    })
+}
+
+#[test]
+fn probe_series_is_byte_identical_at_any_jobs_width() {
+    let sc = faulted()
+        .with_capture(true)
+        .with_probe(SimTime::from_micros(500));
+    let points = vec![sc.clone(), sc.clone(), sc.clone(), sc];
+    let exports = |jobs: usize| -> Vec<(String, String, String)> {
+        sweep(points.clone(), jobs, |sc| run_scenario(&sc))
+            .into_iter()
+            .map(|r| {
+                let p = r.cap.expect("capture on").probes.expect("probe on");
+                (p.to_csv(), p.to_openmetrics(), p.to_chrome_json())
+            })
+            .collect()
+    };
+    let serial = exports(1);
+    assert_eq!(
+        serial,
+        exports(4),
+        "probe exports must not depend on --jobs"
+    );
+    let (csv, om, chrome) = &serial[0];
+    assert!(csv.starts_with("t_ns,"), "CSV header present");
+    assert!(csv.lines().count() > 10, "recorder sampled the run");
+    assert!(om.ends_with("# EOF\n"), "OpenMetrics terminator");
+    assert!(chrome.contains("\"ph\":\"C\""), "Chrome counter track");
+}
+
+#[test]
+fn enabling_the_probe_changes_no_simulated_outcome() {
+    let base = faulted();
+    let probed = faulted()
+        .with_capture(true)
+        .with_probe(SimTime::from_micros(250));
+    let a = run_scenario(&base);
+    let b = run_scenario(&probed);
+    assert_eq!(
+        serde_json::to_string(&a.outcome).unwrap(),
+        serde_json::to_string(&b.outcome).unwrap(),
+        "the flight recorder must be a pure observer"
+    );
+}
+
+#[test]
+fn diff_of_identical_runs_is_zero() {
+    let sc = faulted()
+        .with_capture(true)
+        .with_probe(SimTime::from_millis(1));
+    let a = run_scenario(&sc);
+    let b = run_scenario(&sc);
+    let fa = fingerprint("a", a.outcome.makespan_s, a.cap.as_ref().unwrap());
+    let fb = fingerprint("b", b.outcome.makespan_s, b.cap.as_ref().unwrap());
+    let d = RunDiff::compute(&fa, &fb);
+    assert!(d.is_zero(), "same scenario + seed must diff to zero: {d:?}");
+    assert!(d.digest().contains("zero delta"));
+}
+
+#[test]
+fn diff_attributes_a_kernel_perturbation_to_the_kernel_factor() {
+    let base = small()
+        .with_capture(true)
+        .with_probe(SimTime::from_millis(1));
+    let fast = base
+        .clone()
+        .named("probe-test-fast")
+        .with_perturb(PerturbSet::parse_list("dev:gtx480:2x").unwrap());
+    let a = run_scenario(&base);
+    let b = run_scenario(&fast);
+    let fa = fingerprint("base", a.outcome.makespan_s, a.cap.as_ref().unwrap());
+    let fb = fingerprint("2x-kernels", b.outcome.makespan_s, b.cap.as_ref().unwrap());
+    let d = RunDiff::compute(&fa, &fb);
+    assert!(!d.is_zero());
+    assert!(
+        d.makespan_delta_s < 0.0,
+        "2x faster kernels shorten the run"
+    );
+    let top = d.factors.first().expect("ranked factors");
+    assert_eq!(top.name, "kernel", "top factor is the perturbed one: {d:?}");
+    assert!(
+        top.share_pct.abs() > 50.0,
+        "kernel explains the majority of the delta, got {:.1}%",
+        top.share_pct
+    );
+    let digest = d.digest();
+    assert!(digest.contains("what changed (ranked):"));
+    assert!(digest.contains("kernel"));
+}

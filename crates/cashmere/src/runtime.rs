@@ -812,4 +812,22 @@ impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
         nd.balancer = balancer;
         nd.pending.clear();
     }
+
+    /// Flight-recorder gauges: the balancer's cumulative placement mix —
+    /// device jobs run per device class across the cluster, plus CPU
+    /// fallbacks. Aggregated through a sorted map so column order is
+    /// independent of node/slot enumeration order.
+    fn probe(&self, out: &mut Vec<(String, f64)>) {
+        let mut per_class: std::collections::BTreeMap<&str, u64> =
+            std::collections::BTreeMap::new();
+        for nd in &self.nodes {
+            for slot in &nd.devices {
+                *per_class.entry(slot.sim.level_name.as_str()).or_insert(0) += slot.jobs_run;
+            }
+        }
+        for (class, jobs) in per_class {
+            out.push((format!("placed.{class}"), jobs as f64));
+        }
+        out.push(("placed.cpu".into(), self.cpu_fallbacks as f64));
+    }
 }

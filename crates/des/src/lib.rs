@@ -48,7 +48,10 @@ pub use fault::{
     DeviceFailure, FaultInjector, FaultPlan, LaunchFaultWindow, LinkFault, MessageFate, NodeCrash,
     NodeJoin,
 };
-pub use obs::{ChromeTrace, CriticalPath, LatencyHistogram, MetricsRegistry};
+pub use obs::{
+    ChromeTrace, CriticalPath, LatencyHistogram, MetricsRegistry, ProbeSeries, RunDiff,
+    RunFingerprint,
+};
 pub use resource::Resource;
 pub use rng::StreamRng;
 pub use stats::{Counter, TimeWeighted};

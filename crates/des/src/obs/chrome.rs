@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Append a JSON string literal (mirrors the `serde_json` shim's escaping).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -38,7 +38,7 @@ fn push_json_str(out: &mut String, s: &str) {
 
 /// Append a trace-event timestamp: microseconds with fixed three-decimal
 /// nanosecond precision (deterministic, no float formatting involved).
-fn push_ts(out: &mut String, t: SimTime) {
+pub(crate) fn push_ts(out: &mut String, t: SimTime) {
     let ns = t.as_nanos();
     let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
 }

@@ -1,0 +1,463 @@
+//! Regression explainer: attribute the delta between two runs.
+//!
+//! Selfbench (PR 3) can say "events/sec regressed >30%" and the chaos
+//! sweep (PR 6) can say "level 2 costs 1.4x", but neither says *why*. This
+//! module compares two [`RunFingerprint`]s — makespan, critical-path kind
+//! breakdown, per-node busy time, scalar counters, and optionally a
+//! [`ProbeSeries`] — and emits a ranked "what changed" digest:
+//!
+//! * **critical-path attribution**: which span kind (kernel, network,
+//!   steal, …) absorbed what share of the makespan delta;
+//! * **phase window**: where in virtual time the probed series diverge
+//!   most, and which column dominates that divergence;
+//! * **per-node divergence**: which nodes' busy time moved;
+//! * **counter deltas**: every scalar that changed, ranked by relative
+//!   magnitude.
+//!
+//! Everything is exact arithmetic over deterministic inputs, so two runs
+//! of the same scenario and seed diff to [`RunDiff::is_zero`] — the
+//! property the CI smoke and the `diff` bench bin's `--assert-zero` lean
+//! on.
+
+use crate::obs::probe::ProbeSeries;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything the explainer needs to know about one run. Built by the
+/// bench layer from a captured run (report + trace + probes) or
+/// reconstructed from a committed artifact's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunFingerprint {
+    pub label: String,
+    /// Zero when unknown (e.g. a counters-only selfbench fingerprint).
+    pub makespan: SimTime,
+    /// Critical-path time by span kind, from [`super::CriticalPath`].
+    pub crit: BTreeMap<String, SimTime>,
+    /// Per-node busy time, indexed by node id.
+    pub node_busy: Vec<SimTime>,
+    /// Scalar counters (steals, bytes, crashes, events/sec, …).
+    pub counters: BTreeMap<String, f64>,
+    pub probes: Option<ProbeSeries>,
+}
+
+impl RunFingerprint {
+    /// A counters-only fingerprint (no makespan / path / probe data) —
+    /// what selfbench `--check` builds from two `BENCH_sim.json` files.
+    pub fn counters_only(label: &str, counters: BTreeMap<String, f64>) -> RunFingerprint {
+        RunFingerprint {
+            label: label.to_string(),
+            makespan: SimTime::ZERO,
+            crit: BTreeMap::new(),
+            node_busy: Vec::new(),
+            counters,
+            probes: None,
+        }
+    }
+}
+
+/// One ranked attribution row: a critical-path kind or a counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffFactor {
+    pub name: String,
+    pub base: f64,
+    pub other: f64,
+    pub delta: f64,
+    /// For critical-path factors: this kind's share of the makespan delta
+    /// (can exceed 100% when kinds move in opposite directions). For
+    /// counters: the relative change in percent, or infinity for a counter
+    /// appearing from zero.
+    pub share_pct: f64,
+}
+
+/// Busy-time movement on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDivergence {
+    pub node: usize,
+    pub base_busy_s: f64,
+    pub other_busy_s: f64,
+    pub delta_s: f64,
+}
+
+/// The virtual-time window where the two probe series diverge most: the
+/// contiguous region around the peak tick where per-tick divergence stays
+/// above half its maximum, plus the column dominating it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseWindow {
+    pub from: SimTime,
+    pub until: SimTime,
+    pub peak: SimTime,
+    pub top_column: String,
+}
+
+/// The computed diff between two fingerprints. Serializable so the `diff`
+/// bin can write it next to the digest it prints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunDiff {
+    pub base: String,
+    pub other: String,
+    pub makespan_base_s: f64,
+    pub makespan_other_s: f64,
+    pub makespan_delta_s: f64,
+    /// Critical-path kinds with a nonzero delta, ranked by |delta|.
+    pub factors: Vec<DiffFactor>,
+    /// Counters with a nonzero delta, ranked by relative magnitude.
+    pub counters: Vec<DiffFactor>,
+    /// Nodes whose busy time moved, ranked by |delta|.
+    pub nodes: Vec<NodeDivergence>,
+    pub phase: Option<PhaseWindow>,
+}
+
+fn union_keys<'a, V>(a: &'a BTreeMap<String, V>, b: &'a BTreeMap<String, V>) -> Vec<&'a str> {
+    let mut keys: Vec<&str> = a.keys().map(String::as_str).collect();
+    keys.extend(b.keys().map(String::as_str));
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+impl RunDiff {
+    pub fn compute(base: &RunFingerprint, other: &RunFingerprint) -> RunDiff {
+        let mb = base.makespan.as_secs_f64();
+        let mo = other.makespan.as_secs_f64();
+        let mdelta = mo - mb;
+
+        // Critical-path kinds: share of the makespan delta each absorbed.
+        let mut factors = Vec::new();
+        for kind in union_keys(&base.crit, &other.crit) {
+            let b = base.crit.get(kind).copied().unwrap_or(SimTime::ZERO);
+            let o = other.crit.get(kind).copied().unwrap_or(SimTime::ZERO);
+            let delta = o.as_secs_f64() - b.as_secs_f64();
+            if delta == 0.0 {
+                continue;
+            }
+            let share_pct = if mdelta != 0.0 {
+                100.0 * delta / mdelta
+            } else {
+                0.0
+            };
+            factors.push(DiffFactor {
+                name: kind.to_string(),
+                base: b.as_secs_f64(),
+                other: o.as_secs_f64(),
+                delta,
+                share_pct,
+            });
+        }
+        factors.sort_by(|x, y| y.delta.abs().total_cmp(&x.delta.abs()));
+
+        // Counters: rank by relative change so bytes and counts compare.
+        let mut counters = Vec::new();
+        for key in union_keys(&base.counters, &other.counters) {
+            let b = base.counters.get(key).copied().unwrap_or(0.0);
+            let o = other.counters.get(key).copied().unwrap_or(0.0);
+            if b == o {
+                continue;
+            }
+            let share_pct = if b != 0.0 {
+                100.0 * (o - b) / b.abs()
+            } else {
+                f64::INFINITY
+            };
+            counters.push(DiffFactor {
+                name: key.to_string(),
+                base: b,
+                other: o,
+                delta: o - b,
+                share_pct,
+            });
+        }
+        counters.sort_by(|x, y| y.share_pct.abs().total_cmp(&x.share_pct.abs()));
+
+        // Per-node busy-time divergence.
+        let mut nodes = Vec::new();
+        let n = base.node_busy.len().max(other.node_busy.len());
+        for i in 0..n {
+            let b = base.node_busy.get(i).copied().unwrap_or(SimTime::ZERO);
+            let o = other.node_busy.get(i).copied().unwrap_or(SimTime::ZERO);
+            let delta_s = o.as_secs_f64() - b.as_secs_f64();
+            if delta_s != 0.0 {
+                nodes.push(NodeDivergence {
+                    node: i,
+                    base_busy_s: b.as_secs_f64(),
+                    other_busy_s: o.as_secs_f64(),
+                    delta_s,
+                });
+            }
+        }
+        nodes.sort_by(|x, y| {
+            y.delta_s
+                .abs()
+                .total_cmp(&x.delta_s.abs())
+                .then(x.node.cmp(&y.node))
+        });
+
+        let phase = match (&base.probes, &other.probes) {
+            (Some(a), Some(b)) => phase_window(a, b),
+            _ => None,
+        };
+
+        RunDiff {
+            base: base.label.clone(),
+            other: other.label.clone(),
+            makespan_base_s: mb,
+            makespan_other_s: mo,
+            makespan_delta_s: mdelta,
+            factors,
+            counters,
+            nodes,
+            phase,
+        }
+    }
+
+    /// True when the two runs are indistinguishable: same makespan, same
+    /// critical path, same counters, same per-node busy time. Exact — two
+    /// runs of the same scenario and seed must satisfy this.
+    pub fn is_zero(&self) -> bool {
+        self.makespan_delta_s == 0.0
+            && self.factors.is_empty()
+            && self.counters.is_empty()
+            && self.nodes.is_empty()
+    }
+
+    /// The ranked human-readable "what changed" digest.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        if self.makespan_base_s == 0.0 && self.makespan_other_s == 0.0 {
+            let _ = writeln!(out, "run diff: {} vs {}", self.base, self.other);
+        } else {
+            let rel = if self.makespan_base_s != 0.0 {
+                100.0 * self.makespan_delta_s / self.makespan_base_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "run diff: {} ({:.6}s) vs {} ({:.6}s): {:+.6}s ({:+.2}%)",
+                self.base,
+                self.makespan_base_s,
+                self.other,
+                self.makespan_other_s,
+                self.makespan_delta_s,
+                rel
+            );
+        }
+        if self.is_zero() {
+            let _ = writeln!(out, "  zero delta: the runs are indistinguishable");
+            return out;
+        }
+        let _ = writeln!(out, "what changed (ranked):");
+        if !self.factors.is_empty() {
+            let _ = writeln!(out, "  critical path by kind:");
+            for f in &self.factors {
+                let _ = writeln!(
+                    out,
+                    "    {:<18} {:+.6}s  ({:.1}% of makespan delta)",
+                    f.name, f.delta, f.share_pct
+                );
+            }
+        }
+        if let Some(p) = &self.phase {
+            let _ = writeln!(
+                out,
+                "  phase window: {}..{} (peak {}), dominant column `{}`",
+                p.from, p.until, p.peak, p.top_column
+            );
+        }
+        if !self.nodes.is_empty() {
+            let _ = write!(out, "  node divergence:");
+            for d in self.nodes.iter().take(4) {
+                let _ = write!(out, " n{} {:+.6}s busy;", d.node, d.delta_s);
+            }
+            if self.nodes.len() > 4 {
+                let _ = write!(out, " (+{} more)", self.nodes.len() - 4);
+            }
+            out.push('\n');
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for c in self.counters.iter().take(8) {
+                if c.share_pct.is_finite() {
+                    let _ = writeln!(
+                        out,
+                        "    {:<24} {} -> {}  ({:+.1}%)",
+                        c.name, c.base, c.other, c.share_pct
+                    );
+                } else {
+                    let _ = writeln!(out, "    {:<24} {} -> {}  (new)", c.name, c.base, c.other);
+                }
+            }
+            if self.counters.len() > 8 {
+                let _ = writeln!(out, "    (+{} more)", self.counters.len() - 8);
+            }
+        }
+        out
+    }
+}
+
+/// Per-tick divergence between two probe series over their shared columns
+/// and shared prefix of ticks; `None` when they never diverge (or share
+/// nothing).
+fn phase_window(a: &ProbeSeries, b: &ProbeSeries) -> Option<PhaseWindow> {
+    let ticks = a.times.len().min(b.times.len());
+    if ticks == 0 {
+        return None;
+    }
+    let shared: Vec<(
+        &crate::obs::probe::ProbeColumn,
+        &crate::obs::probe::ProbeColumn,
+    )> = a
+        .columns
+        .iter()
+        .filter_map(|ca| b.column(&ca.name).map(|cb| (ca, cb)))
+        .collect();
+    if shared.is_empty() {
+        return None;
+    }
+    let div: Vec<f64> = (0..ticks)
+        .map(|i| {
+            shared
+                .iter()
+                .map(|(ca, cb)| (ca.values[i] - cb.values[i]).abs())
+                .sum()
+        })
+        .collect();
+    let (peak_i, &peak_v) = div
+        .iter()
+        .enumerate()
+        .max_by(|(_, x), (_, y)| x.total_cmp(y))?;
+    if peak_v <= 0.0 {
+        return None;
+    }
+    // Contiguous window around the peak where divergence stays above half
+    // its maximum.
+    let mut lo = peak_i;
+    while lo > 0 && div[lo - 1] >= 0.5 * peak_v {
+        lo -= 1;
+    }
+    let mut hi = peak_i;
+    while hi + 1 < ticks && div[hi + 1] >= 0.5 * peak_v {
+        hi += 1;
+    }
+    // The column contributing most inside the window.
+    let top_column = shared
+        .iter()
+        .map(|(ca, cb)| {
+            let s: f64 = (lo..=hi).map(|i| (ca.values[i] - cb.values[i]).abs()).sum();
+            (ca.name.clone(), s)
+        })
+        .max_by(|(xn, x), (yn, y)| x.total_cmp(y).then_with(|| yn.cmp(xn)))
+        .map(|(name, _)| name)?;
+    Some(PhaseWindow {
+        from: a.times[lo],
+        until: a.times[hi],
+        peak: a.times[peak_i],
+        top_column,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn fp(label: &str, makespan: f64, kernel: f64, net: f64) -> RunFingerprint {
+        let mut crit = BTreeMap::new();
+        crit.insert("kernel".to_string(), s(kernel));
+        crit.insert("network".to_string(), s(net));
+        let mut counters = BTreeMap::new();
+        counters.insert("steals_ok".to_string(), 10.0);
+        RunFingerprint {
+            label: label.to_string(),
+            makespan: s(makespan),
+            crit,
+            node_busy: vec![s(makespan * 0.8), s(makespan * 0.7)],
+            counters,
+            probes: None,
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_to_zero() {
+        let a = fp("a", 1.0, 0.7, 0.2);
+        let d = RunDiff::compute(&a, &fp("b", 1.0, 0.7, 0.2));
+        assert!(d.is_zero(), "{d:?}");
+        assert!(d.digest().contains("zero delta"));
+    }
+
+    #[test]
+    fn attribution_ranks_the_dominant_kind_first() {
+        let base = fp("base", 1.0, 0.7, 0.2);
+        let slow = fp("slow", 1.5, 1.15, 0.25);
+        let d = RunDiff::compute(&base, &slow);
+        assert!(!d.is_zero());
+        assert_eq!(d.factors[0].name, "kernel");
+        assert!(
+            d.factors[0].share_pct > 50.0,
+            "kernel should absorb the majority: {:?}",
+            d.factors
+        );
+        let digest = d.digest();
+        assert!(digest.contains("what changed"), "{digest}");
+        assert!(digest.contains("kernel"), "{digest}");
+    }
+
+    #[test]
+    fn counters_only_fingerprints_diff_by_relative_change() {
+        let mut b = BTreeMap::new();
+        b.insert("events_per_sec".to_string(), 100.0);
+        b.insert("steals".to_string(), 10.0);
+        let mut o = BTreeMap::new();
+        o.insert("events_per_sec".to_string(), 60.0);
+        o.insert("steals".to_string(), 11.0);
+        let d = RunDiff::compute(
+            &RunFingerprint::counters_only("base", b),
+            &RunFingerprint::counters_only("now", o),
+        );
+        assert_eq!(d.counters[0].name, "events_per_sec");
+        assert_eq!(d.counters[0].share_pct, -40.0);
+        assert!(d.digest().contains("events_per_sec"));
+    }
+
+    #[test]
+    fn phase_window_finds_the_divergence() {
+        let iv = SimTime::from_millis(1);
+        let mut a = ProbeSeries::new(iv);
+        let mut b = ProbeSeries::new(iv);
+        for i in 1..=10u64 {
+            let t = SimTime::from_millis(i);
+            let busy_a = 4.0;
+            // The runs disagree only in ticks 4..=6, worst at 5.
+            let busy_b = match i {
+                4 | 6 => 2.0,
+                5 => 0.0,
+                _ => 4.0,
+            };
+            a.sample(t, &[("busy".to_string(), busy_a)]);
+            b.sample(t, &[("busy".to_string(), busy_b)]);
+        }
+        let mut base = fp("a", 1.0, 0.7, 0.2);
+        let mut other = fp("b", 1.1, 0.8, 0.2);
+        base.probes = Some(a);
+        other.probes = Some(b);
+        let d = RunDiff::compute(&base, &other);
+        assert!(d.digest().contains("phase window"));
+        let p = d.phase.expect("divergence should be found");
+        assert_eq!(p.peak, SimTime::from_millis(5));
+        assert_eq!(p.from, SimTime::from_millis(4));
+        assert_eq!(p.until, SimTime::from_millis(6));
+        assert_eq!(p.top_column, "busy");
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let d = RunDiff::compute(&fp("a", 1.0, 0.7, 0.2), &fp("b", 1.5, 1.15, 0.25));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: RunDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

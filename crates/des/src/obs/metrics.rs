@@ -285,10 +285,12 @@ impl MetricsRegistry {
     /// `mean` — in that fixed order), and latency histograms become
     /// `summary` families with ascending `quantile` labels plus `_count` /
     /// `_sum` samples in seconds. Names are prefixed `cashmere_` with
-    /// non-alphanumeric characters mapped to `_`; family order follows the
-    /// registry's sorted storage, so the output is byte-deterministic.
-    /// `now` closes out the time-weighted gauges, as in
-    /// [`MetricsRegistry::summary`].
+    /// non-alphanumeric characters mapped to `_`; when that mangling makes
+    /// two metric names collide (`a.b` vs `a_b`), the `# TYPE` / `# HELP`
+    /// metadata is emitted once per family, not once per metric — parsers
+    /// reject duplicate metadata lines. Family order follows the registry's
+    /// sorted storage, so the output is byte-deterministic. `now` closes
+    /// out the time-weighted gauges, as in [`MetricsRegistry::summary`].
     pub fn to_openmetrics(&self, now: SimTime) -> String {
         fn family(name: &str) -> String {
             let mut out = String::from("cashmere_");
@@ -301,25 +303,39 @@ impl MetricsRegistry {
             }
             out
         }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut meta = |out: &mut String, f: &str, kind: &str, help: &str| {
+            if seen.insert(f.to_string()) {
+                let _ = writeln!(out, "# TYPE {f} {kind}");
+                let _ = writeln!(out, "# HELP {f} {help}");
+            }
+        };
         let mut out = String::new();
         for (name, v) in self.counters() {
             let f = family(name);
-            let _ = writeln!(out, "# TYPE {f} counter");
-            let _ = writeln!(out, "# HELP {f} Counter `{name}`.");
+            meta(&mut out, &f, "counter", &format!("Counter `{name}`."));
             let _ = writeln!(out, "{f}_total {v}");
         }
         for (name, g) in self.gauges() {
             let f = family(name);
-            let _ = writeln!(out, "# TYPE {f} gauge");
-            let _ = writeln!(out, "# HELP {f} Time-weighted gauge `{name}`.");
+            meta(
+                &mut out,
+                &f,
+                "gauge",
+                &format!("Time-weighted gauge `{name}`."),
+            );
             let _ = writeln!(out, "{f}{{stat=\"last\"}} {}", g.value());
             let _ = writeln!(out, "{f}{{stat=\"max\"}} {}", g.max());
             let _ = writeln!(out, "{f}{{stat=\"mean\"}} {:.6}", g.mean(now));
         }
         for (name, h) in self.histograms() {
             let f = family(name);
-            let _ = writeln!(out, "# TYPE {f} summary");
-            let _ = writeln!(out, "# HELP {f} Latency histogram `{name}`, seconds.");
+            meta(
+                &mut out,
+                &f,
+                "summary",
+                &format!("Latency histogram `{name}`, seconds."),
+            );
             for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
                 let _ = writeln!(
                     out,
@@ -333,6 +349,23 @@ impl MetricsRegistry {
         out.push_str("# EOF\n");
         out
     }
+}
+
+/// Escape a string for use inside an OpenMetrics label value: backslash,
+/// double quote, and newline must be backslash-escaped per the exposition
+/// format. Shared by every exporter that emits labels (this registry and
+/// [`crate::obs::ProbeSeries::to_openmetrics`]).
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -496,6 +529,103 @@ mod tests {
         let mean = text.find("stat=\"mean\"").unwrap();
         assert!(last < max && max < mean);
         assert_eq!(text, m.to_openmetrics(t(200)), "byte-deterministic");
+    }
+
+    /// Minimal line-level OpenMetrics validator: metadata lines carry a
+    /// family name and a payload, sample lines are `name[{labels}] value
+    /// [timestamp]` with a sane name and parseable numbers, `# EOF` is the
+    /// final line, and no family repeats its `# TYPE` / `# HELP` metadata.
+    fn check_openmetrics_lines(text: &str) {
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(*lines.last().unwrap(), "# EOF", "must end with # EOF");
+        let mut typed = std::collections::BTreeSet::new();
+        for (i, line) in lines.iter().enumerate() {
+            if *line == "# EOF" {
+                assert_eq!(i, lines.len() - 1, "# EOF must be the last line");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let (kw, rest) = rest.split_once(' ').expect("metadata keyword");
+                assert!(kw == "TYPE" || kw == "HELP", "bad metadata line: {line}");
+                let (fam, payload) = rest.split_once(' ').expect("family + payload");
+                assert!(!payload.is_empty(), "empty metadata payload: {line}");
+                if kw == "TYPE" {
+                    assert!(typed.insert(fam.to_string()), "duplicate # TYPE {fam}");
+                }
+                continue;
+            }
+            // Sample line: split off labels if present, then value [+ ts].
+            let (name, tail) = match line.split_once('{') {
+                Some((n, rest)) => {
+                    let (labels, tail) = rest.split_once('}').expect("unclosed label set");
+                    for pair in labels.split(',') {
+                        let (_, v) = pair.split_once('=').expect("label pair");
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"'),
+                            "unquoted label value: {line}"
+                        );
+                    }
+                    (n, tail.trim_start())
+                }
+                None => {
+                    let (n, tail) = line.split_once(' ').expect("sample needs a value");
+                    (n, tail)
+                }
+            };
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad sample name: {name}"
+            );
+            for num in tail.split_whitespace() {
+                num.parse::<f64>()
+                    .unwrap_or_else(|_| panic!("unparseable number `{num}` in: {line}"));
+            }
+        }
+    }
+
+    #[test]
+    fn openmetrics_parses_line_by_line() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.add("steals.ok", 7);
+        m.gauge_set("n0.dev0.queue", t(0), 2.0);
+        m.observe("pcie.h2d", t(1_000_000));
+        check_openmetrics_lines(&m.to_openmetrics(t(200)));
+
+        // Probe exports pass the same validator (labels get escaped).
+        let mut p = crate::obs::ProbeSeries::new(t(1000));
+        p.sample(t(1000), &[("n0.busy".to_string(), 3.0)]);
+        check_openmetrics_lines(&p.to_openmetrics());
+    }
+
+    #[test]
+    fn openmetrics_dedupes_metadata_for_colliding_families() {
+        // `steals.ok` and `steals_ok` both mangle to `cashmere_steals_ok`;
+        // the exposition must carry that family's metadata exactly once.
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.add("steals.ok", 7);
+        m.add("steals_ok", 3);
+        let text = m.to_openmetrics(t(0));
+        let type_lines = text
+            .lines()
+            .filter(|l| *l == "# TYPE cashmere_steals_ok counter")
+            .count();
+        assert_eq!(type_lines, 1, "metadata must be deduped:\n{text}");
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("cashmere_steals_ok_total "))
+                .count(),
+            2,
+            "both samples survive:\n{text}"
+        );
+        check_openmetrics_lines(&text);
+    }
+
+    #[test]
+    fn label_values_escape_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -20,11 +20,20 @@
 //!   (`dev:k20:2x`), candidate enumeration from a baseline trace, and the
 //!   ranked virtual-speedup report the bench `advisor` bin fills by
 //!   deterministic re-execution.
+//! - [`probe`]: the flight recorder — a columnar time series filled by
+//!   engine-scheduled periodic sampling (busy cores, queue depth, steal
+//!   rate, in-flight bytes, placement mix), exported as CSV, timestamped
+//!   OpenMetrics, or Chrome counter tracks.
+//! - [`diff`]: the regression explainer — compares two run fingerprints
+//!   (makespan, critical path, counters, probe series) and emits a ranked
+//!   "what changed" attribution digest.
 
 pub mod advisor;
 pub mod chrome;
 pub mod critical;
+pub mod diff;
 pub mod metrics;
+pub mod probe;
 pub mod timeline;
 
 pub use advisor::{
@@ -33,5 +42,7 @@ pub use advisor::{
 };
 pub use chrome::{ChromeArgs, ChromeEvent, ChromeTrace};
 pub use critical::{CriticalPath, CriticalSegment};
+pub use diff::{DiffFactor, NodeDivergence, PhaseWindow, RunDiff, RunFingerprint};
 pub use metrics::{LatencyHistogram, MetricsRegistry};
+pub use probe::{ProbeColumn, ProbeSeries};
 pub use timeline::{LaneUsage, UtilizationTimelines};

@@ -1,0 +1,247 @@
+//! Flight recorder: deterministic periodic sampling of cluster state.
+//!
+//! The paper (and PR 2's observability layer) reads every run off
+//! end-of-run aggregates; EngineCL-style continuous telemetry is what makes
+//! heterogeneous load-balancing behavior legible *while it happens*. A
+//! [`ProbeSeries`] is the columnar store behind that: the engine schedules a
+//! probe event every `interval` of virtual time, each firing appends one row
+//! of named gauge columns (busy cores, queue depth, steal rate, in-flight
+//! bytes, placement mix, …), and the result exports as CSV, timestamped
+//! OpenMetrics, or Chrome counter tracks.
+//!
+//! Determinism contract: sampling is read-only. A probe event consumes no
+//! randomness, mutates no simulation state, and the engine cancels the
+//! pending probe when the root job completes, so the virtual clock never
+//! advances past the real finish. Two runs of the same scenario — with or
+//! without probing, at any `--jobs` width — produce byte-identical reports,
+//! and two probed runs produce byte-identical series.
+
+use crate::obs::chrome::{push_json_str, push_ts};
+use crate::obs::metrics::escape_label_value;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named column of the series: a value per recorded tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeColumn {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+/// A compact columnar time series sampled at a fixed virtual-time cadence.
+///
+/// Columns are created on first appearance (in sampler declaration order,
+/// so the layout is deterministic) and zero-backfilled for ticks recorded
+/// before they existed; columns absent from a sample are padded with zero.
+/// In practice every sampler reports the same columns every tick, so both
+/// paths are fallbacks, not the steady state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSeries {
+    /// Sampling cadence (virtual time between ticks).
+    pub interval: SimTime,
+    /// Tick timestamps, strictly increasing multiples of `interval`.
+    pub times: Vec<SimTime>,
+    pub columns: Vec<ProbeColumn>,
+}
+
+impl ProbeSeries {
+    pub fn new(interval: SimTime) -> ProbeSeries {
+        ProbeSeries {
+            interval,
+            times: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ProbeColumn> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Record one tick at time `t` with the given `(name, value)` columns.
+    pub fn sample(&mut self, t: SimTime, cols: &[(String, f64)]) {
+        let tick = self.times.len();
+        self.times.push(t);
+        for (name, value) in cols {
+            match self.columns.iter_mut().find(|c| &c.name == name) {
+                Some(c) => {
+                    // Zero-pad any ticks this column missed, then append.
+                    c.values.resize(tick, 0.0);
+                    c.values.push(*value);
+                }
+                None => {
+                    let mut values = vec![0.0; tick];
+                    values.push(*value);
+                    self.columns.push(ProbeColumn {
+                        name: name.clone(),
+                        values,
+                    });
+                }
+            }
+        }
+        // Columns absent from this sample read as zero for the tick.
+        for c in &mut self.columns {
+            c.values.resize(tick + 1, 0.0);
+        }
+    }
+
+    /// CSV export: header `t_ns,<col>,…`, one row per tick. Values use
+    /// Rust's shortest-roundtrip `f64` formatting — deterministic, and
+    /// integral gauges print without a fraction.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ns");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.name);
+        }
+        out.push('\n');
+        for (i, t) in self.times.iter().enumerate() {
+            let _ = write!(out, "{}", t.as_nanos());
+            for c in &self.columns {
+                let _ = write!(out, ",{}", c.values[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Timestamped OpenMetrics text exposition: one `cashmere_probe` gauge
+    /// family, each sample labeled with its (escaped) column name and
+    /// carrying its virtual-time timestamp in seconds, `# EOF` terminated.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE cashmere_probe gauge");
+        let _ = writeln!(
+            out,
+            "# HELP cashmere_probe Flight-recorder sample (virtual-time timestamps)."
+        );
+        for c in &self.columns {
+            let label = escape_label_value(&c.name);
+            for (i, t) in self.times.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "cashmere_probe{{column=\"{label}\"}} {} {:.9}",
+                    c.values[i],
+                    t.as_secs_f64()
+                );
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// Chrome trace-event export: one counter track (`"ph":"C"`) per
+    /// column, overlayable on the span trace in Perfetto. Byte-deterministic
+    /// (same fixed-point timestamps as [`crate::Trace::to_chrome_json`]).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for c in &self.columns {
+            for (i, t) in self.times.iter().enumerate() {
+                if first {
+                    first = false;
+                } else {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str("{\"ph\":\"C\",\"name\":");
+                push_json_str(&mut out, &format!("probe.{}", c.name));
+                out.push_str(",\"pid\":1,\"tid\":0,\"ts\":");
+                push_ts(&mut out, *t);
+                let _ = write!(out, ",\"args\":{{\"value\":{}}}}}", c.values[i]);
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn series() -> ProbeSeries {
+        let mut p = ProbeSeries::new(t(1000));
+        p.sample(
+            t(1000),
+            &[("busy".to_string(), 3.0), ("queue".to_string(), 7.0)],
+        );
+        p.sample(
+            t(2000),
+            &[("busy".to_string(), 5.0), ("queue".to_string(), 2.0)],
+        );
+        p
+    }
+
+    #[test]
+    fn columns_stay_aligned() {
+        let mut p = series();
+        // A column appearing late is zero-backfilled; one disappearing is
+        // zero-padded.
+        p.sample(
+            t(3000),
+            &[("busy".to_string(), 1.0), ("late".to_string(), 9.0)],
+        );
+        assert_eq!(p.len(), 3);
+        for c in &p.columns {
+            assert_eq!(c.values.len(), 3, "column {} misaligned", c.name);
+        }
+        assert_eq!(p.column("late").unwrap().values, vec![0.0, 0.0, 9.0]);
+        assert_eq!(p.column("queue").unwrap().values, vec![7.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn csv_layout_and_determinism() {
+        let p = series();
+        let csv = p.to_csv();
+        assert_eq!(
+            csv, "t_ns,busy,queue\n1000,3,7\n2000,5,2\n",
+            "header + one row per tick"
+        );
+        assert_eq!(csv, series().to_csv(), "byte-deterministic");
+    }
+
+    #[test]
+    fn openmetrics_is_timestamped_escaped_and_terminated() {
+        let mut p = ProbeSeries::new(t(1000));
+        p.sample(t(1_000_000), &[("odd\"name\\x".to_string(), 1.5)]);
+        let om = p.to_openmetrics();
+        assert!(om.ends_with("# EOF\n"));
+        assert!(om.contains("# TYPE cashmere_probe gauge"));
+        assert!(
+            om.contains("cashmere_probe{column=\"odd\\\"name\\\\x\"} 1.5 0.001000000"),
+            "{om}"
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_counter_tracks() {
+        let json = series().to_chrome_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"probe.busy\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"value\":3"));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let p = series();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProbeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

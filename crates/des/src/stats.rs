@@ -78,14 +78,19 @@ impl TimeWeighted {
         self.max
     }
 
-    /// Time-weighted mean over `[start, now]`. Returns the current value when
-    /// no time has elapsed.
+    /// Time-weighted mean over `[start, now]`, including the tail segment
+    /// between the last update and `now` at the current value — so
+    /// finalizing at run end (makespan) weights the closing quiet period,
+    /// not just the recorded transitions. Returns the current value when no
+    /// time has elapsed; a `now` before the last update (a gauge finalized
+    /// against a horizon shorter than its history) clamps the tail to zero
+    /// instead of underflowing.
     pub fn mean(&self, now: SimTime) -> f64 {
-        let total = (now - self.start).as_secs_f64();
+        let total = now.saturating_sub(self.start).as_secs_f64();
         if total <= 0.0 {
             return self.last_value;
         }
-        let tail = (now - self.last_time).as_secs_f64();
+        let tail = now.saturating_sub(self.last_time).as_secs_f64();
         (self.weighted_sum + self.last_value * tail) / total
     }
 }
@@ -153,6 +158,27 @@ mod tests {
     fn time_weighted_zero_elapsed() {
         let tw = TimeWeighted::new(t(5), 7.0);
         assert_eq!(tw.mean(t(5)), 7.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_includes_tail_to_run_end() {
+        // Gauge finalization: the segment between the last update and run
+        // end must be weighted. 0.0 for 2s, then 4.0 for the remaining 8s
+        // of a 10s run — the mean is exactly (0*2 + 4*8)/10 = 3.2, not the
+        // 0.0 a last-update cutoff would report.
+        let mut tw = TimeWeighted::new(t(0), 0.0);
+        tw.update(t(2_000_000_000), 4.0);
+        assert_eq!(tw.mean(t(10_000_000_000)), 3.2);
+    }
+
+    #[test]
+    fn time_weighted_mean_clamps_a_short_horizon() {
+        // Finalizing at a horizon before the last update must not
+        // underflow: the tail clamps to zero, leaving the recorded
+        // segment (1.0 over 8s) divided by the 5s window.
+        let mut tw = TimeWeighted::new(t(0), 1.0);
+        tw.update(t(8_000_000_000), 2.0);
+        assert_eq!(tw.mean(t(5_000_000_000)), 1.6);
     }
 
     #[test]

@@ -113,6 +113,14 @@ pub trait LeafRuntime<A: ClusterApp>: 'static {
     /// Node `node` (re)joined at `at`: bring its per-node runtime state
     /// back up (re-register devices, rebuild the balancer). Default: no-op.
     fn on_node_join(&mut self, _node: usize, _at: SimTime) {}
+
+    /// Flight-recorder hook: append runtime-specific `(column, value)`
+    /// gauges to one probe sample (e.g. Cashmere's cumulative placement
+    /// mix per device class). Must be read-only — no randomness, no state
+    /// mutation — and emit the same columns every call so the series stays
+    /// rectangular. Default: no extra columns, correct for plain CPU leaf
+    /// runtimes.
+    fn probe(&self, _out: &mut Vec<(String, f64)>) {}
 }
 
 /// Plain Satin: every leaf is a single-threaded CPU computation.

@@ -15,6 +15,7 @@
 use crate::sim::app::{ClusterApp, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 use crate::sim::report::RunReport;
 use cashmere_des::fault::{FaultInjector, FaultPlan, MessageFate};
+use cashmere_des::obs::ProbeSeries;
 use cashmere_des::rng::StreamRng;
 use cashmere_des::trace::{LaneId, SpanId, SpanKind};
 use cashmere_des::{Sim, SimTime};
@@ -59,6 +60,13 @@ pub struct SimConfig {
     /// recomputing them. Disable (`--no-orphan-reuse` in the bench bins) to
     /// measure the ablation: every orphaned result is recomputed.
     pub orphan_reuse: bool,
+    /// Flight-recorder cadence: when set, a read-only probe event samples
+    /// cluster state (busy cores, queue depths, steal rate, in-flight
+    /// bytes, placement mix) every `probe_interval` of virtual time into a
+    /// [`ProbeSeries`]. Sampling consumes no randomness and the pending
+    /// probe is cancelled at root completion, so enabling it changes no
+    /// simulated outcome. Must be positive.
+    pub probe_interval: Option<SimTime>,
 }
 
 impl Default for SimConfig {
@@ -76,6 +84,7 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             steal_timeout: SimTime::from_millis(5),
             orphan_reuse: true,
+            probe_interval: None,
         }
     }
 }
@@ -187,6 +196,11 @@ pub struct World<A: ClusterApp, L: LeafRuntime<A>> {
     /// When the current recovery episode (≥ 1 outstanding restart root)
     /// began.
     recovering_since: Option<SimTime>,
+    /// Flight-recorder series (`Some` iff `cfg.probe_interval` is set).
+    probe: Option<ProbeSeries>,
+    /// Pending probe event, cancelled at root completion so sampling never
+    /// advances the clock past the real finish.
+    probe_event: Option<cashmere_des::EventHandle>,
     pub report: RunReport,
 }
 
@@ -238,6 +252,10 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
         if let Err(e) = cfg.faults.validate(cfg.nodes) {
             panic!("invalid fault plan: {e}");
         }
+        assert!(
+            cfg.probe_interval != Some(SimTime::ZERO),
+            "probe_interval must be positive"
+        );
         let mut sim = Sim::new(cfg.seed);
         sim.trace.set_enabled(cfg.trace);
         sim.metrics.set_enabled(cfg.trace);
@@ -273,6 +291,8 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
             orphans: HashMap::new(),
             recovery_outstanding: Vec::new(),
             recovering_since: None,
+            probe: cfg.probe_interval.map(ProbeSeries::new),
+            probe_event: None,
             report: RunReport::new(cfg.nodes),
             cfg,
         };
@@ -308,6 +328,12 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
 
     pub fn metrics(&self) -> &cashmere_des::MetricsRegistry {
         &self.sim.metrics
+    }
+
+    /// The flight-recorder series sampled so far (`Some` iff
+    /// [`SimConfig::probe_interval`] is set).
+    pub fn probe_series(&self) -> Option<&ProbeSeries> {
+        self.world.probe.as_ref()
     }
 
     /// Access the leaf runtime (e.g. to inspect Cashmere device state).
@@ -401,6 +427,13 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
         for n in 0..self.world.cfg.nodes {
             schedule_tick(&mut self.world, &mut self.sim, n);
         }
+        if let Some(iv) = self.world.cfg.probe_interval {
+            // Probes fire on the global cadence grid (multiples of the
+            // interval), starting strictly after `start` so iterative
+            // drivers never record a duplicate timestamp.
+            let first = SimTime::from_nanos((start.as_nanos() / iv.as_nanos() + 1) * iv.as_nanos());
+            schedule_probe(&mut self.world, &mut self.sim, first);
+        }
         self.sim.run(&mut self.world);
         let out = self
             .world
@@ -465,6 +498,69 @@ fn note_busy_cores<A: ClusterApp, L: LeafRuntime<A>>(w: &World<A, L>, sim: &mut 
             now,
             w.nodes[n].busy_cores as f64,
         );
+    }
+}
+
+/// Arm the flight recorder's next firing at absolute time `at`.
+fn schedule_probe<A: ClusterApp, L: LeafRuntime<A>>(
+    w: &mut World<A, L>,
+    sim: &mut S<A, L>,
+    at: SimTime,
+) {
+    let h = sim.schedule_at(at, |w: &mut World<A, L>, sim: &mut S<A, L>| {
+        w.probe_event = None;
+        if w.done {
+            return;
+        }
+        sample_probe(w, sim.now());
+        if let Some(iv) = w.cfg.probe_interval {
+            let at = sim.now() + iv;
+            schedule_probe(w, sim, at);
+        }
+    });
+    w.probe_event = Some(h);
+}
+
+/// Take one flight-recorder sample: strictly read-only over the world (no
+/// RNG, no state mutation outside the series itself), so probing cannot
+/// perturb the simulation. Column order is fixed by this function, which
+/// makes the series layout — and every export — byte-deterministic.
+fn sample_probe<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, now: SimTime) {
+    let mut cols: Vec<(String, f64)> = Vec::with_capacity(16 + 2 * w.cfg.nodes);
+    let alive = w.nodes.iter().filter(|n| n.alive).count();
+    let busy: usize = w.nodes.iter().map(|n| n.busy_cores).sum();
+    let queued: usize = w.nodes.iter().map(|n| n.deque.len()).sum();
+    let stealing = w.nodes.iter().filter(|n| n.stealing).count();
+    let total_cores = (w.cfg.cores_per_node * w.cfg.nodes) as f64;
+    cols.push(("alive".into(), alive as f64));
+    cols.push(("crashes".into(), w.report.crashes as f64));
+    cols.push(("joins".into(), w.report.joins as f64));
+    cols.push(("busy_cores".into(), busy as f64));
+    cols.push(("busy_frac".into(), busy as f64 / total_cores));
+    cols.push(("queued_jobs".into(), queued as f64));
+    cols.push(("stealing_nodes".into(), stealing as f64));
+    cols.push(("steal_attempts".into(), w.report.steal_attempts as f64));
+    cols.push(("steals_ok".into(), w.report.steals_ok as f64));
+    cols.push(("steal_rate".into(), w.report.steal_success_rate()));
+    let tx: u64 = w.nics.iter().map(|nic| nic.bytes_tx).sum();
+    cols.push(("net_tx_bytes".into(), tx as f64));
+    // Bytes still draining out of send queues: each NIC's TX backlog
+    // (time until free) at line rate.
+    let inflight: f64 = w
+        .nics
+        .iter()
+        .map(|nic| nic.tx_free_at.saturating_sub(now).as_secs_f64() * w.cfg.net.bandwidth_gbs * 1e9)
+        .sum();
+    cols.push(("net_inflight_bytes".into(), inflight));
+    cols.push(("orphan_results".into(), w.orphans.len() as f64));
+    for (i, n) in w.nodes.iter().enumerate() {
+        cols.push((format!("n{i}.busy"), n.busy_cores as f64));
+        cols.push((format!("n{i}.queue"), n.deque.len() as f64));
+    }
+    // Runtime-specific gauges (Cashmere placement mix; no-op for CPU).
+    w.leaf.probe(&mut cols);
+    if let Some(p) = &mut w.probe {
+        p.sample(now, &cols);
     }
 }
 
@@ -906,6 +1002,11 @@ fn deliver<A: ClusterApp, L: LeafRuntime<A>>(
                     sim.cancel(h);
                 }
                 w.nodes[node].stealing = false;
+            }
+            // Likewise the pending flight-recorder probe: sampling must not
+            // advance the clock past the real finish.
+            if let Some(h) = w.probe_event.take() {
+                sim.cancel(h);
             }
         }
         Some((p, idx)) => {

@@ -434,6 +434,81 @@ mod tests {
     }
 
     #[test]
+    fn probe_sampling_does_not_perturb_the_run() {
+        let run = |probe: Option<SimTime>| {
+            let mut cs = ClusterSim::new(
+                SumApp { grain: 1_000 },
+                cpu_leaf(),
+                SimConfig {
+                    nodes: 4,
+                    seed: 2,
+                    probe_interval: probe,
+                    ..SimConfig::default()
+                },
+            );
+            cs.schedule_crash(2, SimTime::from_millis(3)).unwrap();
+            let out = cs.run_root((0, N));
+            (out, cs.now(), cs.report().clone())
+        };
+        let (out_off, now_off, rep_off) = run(None);
+        let (out_on, now_on, rep_on) = run(Some(SimTime::from_micros(100)));
+        assert_eq!(out_on, out_off);
+        assert_eq!(now_on, now_off, "probes must not advance the clock");
+        assert_eq!(
+            serde_json::to_string(&rep_on).unwrap(),
+            serde_json::to_string(&rep_off).unwrap(),
+            "reports must be byte-identical with and without sampling"
+        );
+    }
+
+    #[test]
+    fn probe_series_lands_on_the_cadence_grid_and_sees_the_crash() {
+        let iv = SimTime::from_micros(500);
+        let mut cs = ClusterSim::new(
+            SumApp { grain: 1_000 },
+            cpu_leaf(),
+            SimConfig {
+                nodes: 4,
+                seed: 2,
+                probe_interval: Some(iv),
+                ..SimConfig::default()
+            },
+        );
+        cs.schedule_crash(2, SimTime::from_millis(3)).unwrap();
+        let _ = cs.run_root((0, N));
+        let first_run_end = cs.now();
+        let p = cs.probe_series().expect("probing was enabled").clone();
+        assert!(!p.is_empty(), "a tens-of-ms run records many ticks");
+        for (i, t) in p.times.iter().enumerate() {
+            assert_eq!(t.as_nanos() % iv.as_nanos(), 0, "tick {i} off-grid: {t}");
+            assert!(*t < first_run_end, "tick {i} past the finish: {t}");
+            if i > 0 {
+                assert!(p.times[i - 1] < *t, "timestamps strictly increase");
+            }
+        }
+        let alive = p.column("alive").expect("alive column");
+        assert_eq!(alive.values[0], 4.0, "all nodes alive at the start");
+        assert_eq!(
+            *alive.values.last().unwrap(),
+            3.0,
+            "the crash shows up in the series"
+        );
+        for c in &p.columns {
+            assert_eq!(c.values.len(), p.len(), "column {} misaligned", c.name);
+        }
+
+        // Iterative drivers keep sampling across broadcast + next root on
+        // the same grid, with no duplicate timestamps at the seam.
+        cs.broadcast(1024);
+        let _ = cs.run_root((0, N));
+        let p2 = cs.probe_series().unwrap();
+        assert!(p2.len() > p.len(), "second iteration keeps recording");
+        for i in 1..p2.times.len() {
+            assert!(p2.times[i - 1] < p2.times[i], "duplicate tick at {i}");
+        }
+    }
+
+    #[test]
     fn no_victim_polls_back_off_instead_of_busy_polling() {
         // One async-device master alone in the cluster (its only peer dies
         // immediately): every idle moment triggers a steal attempt that

@@ -55,7 +55,9 @@ fn small_runner(
             trace: cluster.trace().clone(),
             metrics: cluster.metrics().clone(),
             audit: cluster.leaf_runtime().audit.clone(),
-            horizon: cluster.trace().horizon(),
+            report: cluster.report().clone(),
+            probes: cluster.probe_series().cloned(),
+            horizon: cluster.trace().horizon().max(cluster.report().total_time),
         });
         (elapsed.as_secs_f64(), cap)
     }

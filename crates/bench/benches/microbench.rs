@@ -145,26 +145,126 @@ fn saxpy_kernel() -> (CheckedKernel, Vec<String>) {
     (ck, vec!["threads".to_string()])
 }
 
-fn bench_interpreter(c: &mut Criterion) {
-    let (ck, units) = saxpy_kernel();
-    let n = 64 * 1024u64;
-    c.bench_function("mcl_interp/saxpy_64k_lanes", |b| {
+/// A tiled matmul with deep uniform `for` nests and a shared scratch tile —
+/// the shape that dominates the fig6 corpus (the XeonPhi optimized kernel).
+fn tiled_kernel() -> (CheckedKernel, Vec<String>) {
+    let h = standard_hierarchy();
+    let ck = compile(
+        "perfect void matmul(int n, int m, int p, float[n,m] c, float[n,p] a, float[p,m] b) {
+  foreach (int j in m threads) {
+    local float tile[64];
+    for (int kt = 0; kt < (p + 63) / 64; kt = kt + 1) {
+      for (int kk = 0; kk < 64; kk = kk + 1) {
+        int k = kt * 64 + kk;
+        if (k < p) { tile[kk] = 1.0; }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        float acc = 0.0;
+        for (int kk = 0; kk < 64; kk = kk + 1) {
+          int k = kt * 64 + kk;
+          if (k < p) { acc = acc + a[i,k] * tile[kk]; }
+        }
+        c[i,j] = c[i,j] + acc * b[0,j];
+      }
+    }
+  }
+}",
+        &h,
+    )
+    .expect("tiled matmul compiles");
+    (ck, vec!["threads".to_string()])
+}
+
+/// Bench one (kernel, engine, mode) cell: tree vs register VM, full vs
+/// sampled. Both engines produce bit-identical stats; only wall time may
+/// differ.
+fn bench_engines(
+    c: &mut Criterion,
+    name: &str,
+    ck: &CheckedKernel,
+    units: &[String],
+    args: &dyn Fn() -> Vec<ArgValue>,
+    sampled: bool,
+) {
+    let opts = ExecOptions {
+        sample: sampled.then(Default::default),
+        ..ExecOptions::default()
+    };
+    let mode = if sampled { "sampled" } else { "full" };
+    c.bench_function(&format!("mcl_interp/{name}_{mode}_tree"), |b| {
         b.iter_batched(
-            || {
-                vec![
-                    ArgValue::Int(n as i64),
-                    ArgValue::Float(2.0),
-                    ArgValue::Array(ArrayArg::float(&[n], vec![1.0; n as usize])),
-                    ArgValue::Array(ArrayArg::float(&[n], vec![2.0; n as usize])),
-                ]
-            },
-            |args| {
-                let r = execute(&ck, args, &units, &ExecOptions::default()).expect("runs");
+            args,
+            |a| {
+                let r = execute(ck, a, units, &opts).expect("runs");
                 black_box(r.stats.flops)
             },
             BatchSize::SmallInput,
         )
     });
+    c.bench_function(&format!("mcl_interp/{name}_{mode}_vm"), |b| {
+        b.iter_batched(
+            args,
+            |a| {
+                let r = cashmere_mcl::vm::execute(ck, a, units, &opts).expect("runs");
+                black_box(r.stats.flops)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // Small kernel: per-launch overhead (compile-to-bytecode included on
+    // the VM side) dominates.
+    let (ck, units) = saxpy_kernel();
+    let small = 4 * 1024u64;
+    let small_args = move || {
+        vec![
+            ArgValue::Int(small as i64),
+            ArgValue::Float(2.0),
+            ArgValue::Array(ArrayArg::float(&[small], vec![1.0; small as usize])),
+            ArgValue::Array(ArrayArg::float(&[small], vec![2.0; small as usize])),
+        ]
+    };
+    bench_engines(c, "saxpy_4k", &ck, &units, &small_args, false);
+    bench_engines(c, "saxpy_4k", &ck, &units, &small_args, true);
+
+    // Large kernel: per-lane interpretation dominates; this is where the
+    // register VM's uniformity fast paths pay off.
+    let n = 64 * 1024u64;
+    let large_args = move || {
+        vec![
+            ArgValue::Int(n as i64),
+            ArgValue::Float(2.0),
+            ArgValue::Array(ArrayArg::float(&[n], vec![1.0; n as usize])),
+            ArgValue::Array(ArrayArg::float(&[n], vec![2.0; n as usize])),
+        ]
+    };
+    bench_engines(c, "saxpy_64k", &ck, &units, &large_args, false);
+
+    let (tk, tunits) = tiled_kernel();
+    let (tn, tm, tp) = (64i64, 256i64, 256i64);
+    let tiled_args = move || {
+        vec![
+            ArgValue::Int(tn),
+            ArgValue::Int(tm),
+            ArgValue::Int(tp),
+            ArgValue::Array(ArrayArg::float(
+                &[tn as u64, tm as u64],
+                vec![0.0; (tn * tm) as usize],
+            )),
+            ArgValue::Array(ArrayArg::float(
+                &[tn as u64, tp as u64],
+                vec![1.0; (tn * tp) as usize],
+            )),
+            ArgValue::Array(ArrayArg::float(
+                &[tp as u64, tm as u64],
+                vec![1.0; (tp * tm) as usize],
+            )),
+        ]
+    };
+    bench_engines(c, "tiled_matmul", &tk, &tunits, &tiled_args, false);
+    bench_engines(c, "tiled_matmul", &tk, &tunits, &tiled_args, true);
 }
 
 fn bench_balancer(c: &mut Criterion) {

@@ -19,6 +19,7 @@ use cashmere_apps::KernelSet;
 use cashmere_bench::{cli, kernel_gflops, sweep, write_report, AppId, Table};
 use cashmere_hwdesc::DeviceKind;
 use serde::Serialize;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Row {
@@ -27,6 +28,27 @@ struct Row {
     unoptimized_gflops: f64,
     optimized_gflops: f64,
     speedup: f64,
+}
+
+/// One sampled-launch measurement in the `fig6_breakdown` artifact: which
+/// kernel, how long the interpreter took, and how many kernel measurements
+/// (launches) that wall time covers.
+#[derive(Serialize)]
+struct BreakdownRow {
+    app: String,
+    device: String,
+    kernel_set: String,
+    gflops: f64,
+    wall_ms: f64,
+    measurements: u64,
+}
+
+#[derive(Serialize)]
+struct Breakdown {
+    engine: String,
+    total_wall_ms: f64,
+    total_measurements: u64,
+    rows: Vec<BreakdownRow>,
 }
 
 fn main() {
@@ -54,22 +76,28 @@ fn main() {
         }
     }
     let results = sweep(points, jobs, |(app, dev)| {
+        let t0 = Instant::now();
         let un = kernel_gflops(app, KernelSet::Unoptimized, dev).unwrap_or(0.0);
+        let un_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
         let opt = kernel_gflops(app, KernelSet::Optimized, dev).unwrap_or(0.0);
-        (un, opt)
+        let opt_ms = t1.elapsed().as_secs_f64() * 1e3;
+        (un, opt, un_ms, opt_ms)
     });
     let mut json = Vec::new();
+    let mut breakdown = Vec::new();
     let mut results = results.into_iter();
     for app in AppId::ALL {
-        let mut t = Table::new(&["device", "unoptimized", "optimized", "speedup"]);
+        let mut t = Table::new(&["device", "unoptimized", "optimized", "speedup", "wall"]);
         for dev in DeviceKind::ALL {
-            let (un, opt) = results.next().expect("one result per app x device");
+            let (un, opt, un_ms, opt_ms) = results.next().expect("one result per app x device");
             let speedup = if un > 0.0 { opt / un } else { 0.0 };
             t.row(vec![
                 dev.display_name().to_string(),
                 format!("{un:.0}"),
                 format!("{opt:.0}"),
                 format!("{speedup:.2}x"),
+                format!("{:.1}ms", un_ms + opt_ms),
             ]);
             json.push(Row {
                 app: app.name().to_string(),
@@ -78,6 +106,16 @@ fn main() {
                 optimized_gflops: opt,
                 speedup,
             });
+            for (set, gflops, ms) in [("unoptimized", un, un_ms), ("optimized", opt, opt_ms)] {
+                breakdown.push(BreakdownRow {
+                    app: app.name().to_string(),
+                    device: dev.level_name().to_string(),
+                    kernel_set: set.to_string(),
+                    gflops,
+                    wall_ms: ms,
+                    measurements: 1,
+                });
+            }
         }
         println!("{}:", app.name());
         println!("{}", t.render());
@@ -86,6 +124,21 @@ fn main() {
     // provenance list is empty because these are isolated kernel runs, not
     // cluster scenarios.
     write_report("fig6_kernel_performance", &[], &json);
+    // Interpreter-cost breakdown: which kernels the wall time went to and
+    // under which engine. Wall times are machine-dependent — this artifact
+    // is diagnostic (CI uploads it), not part of the canonical result set.
+    let total_wall_ms: f64 = breakdown.iter().map(|r| r.wall_ms).sum();
+    let total_measurements: u64 = breakdown.iter().map(|r| r.measurements).sum();
+    write_report(
+        "fig6_breakdown",
+        &[],
+        &Breakdown {
+            engine: cashmere_mcl::default_engine().name().to_string(),
+            total_wall_ms,
+            total_measurements,
+            rows: breakdown,
+        },
+    );
     println!(
         "expected shape (paper): optimization helps drastically for matmul /\n\
          k-means / n-body; the raytracer barely moves (divergence-bound)."

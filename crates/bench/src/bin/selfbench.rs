@@ -71,6 +71,18 @@ struct BinNumbers {
     fig6_kernels_wall_s: f64,
 }
 
+#[derive(Serialize, Deserialize, Default)]
+struct KernelNumbers {
+    /// Sampled kernel measurements/sec over the fig6 corpus (4 apps × 7
+    /// devices, optimized kernel set) on the register-bytecode VM — the
+    /// default engine and the regression-gated kernel-path floor.
+    vm_measurements_per_sec: f64,
+    /// Same corpus on the reference tree-walking interpreter.
+    tree_measurements_per_sec: f64,
+    /// VM throughput over tree throughput.
+    vm_speedup_vs_tree: f64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct SelfBench {
     schema: u32,
@@ -78,6 +90,9 @@ struct SelfBench {
     engine: EngineNumbers,
     sweep: SweepNumbers,
     bins: BinNumbers,
+    /// Kernel-interpretation throughput (`None` in pre-VM baselines; the
+    /// offline serde shim maps a missing field to `None`).
+    kernels: Option<KernelNumbers>,
     /// Free-form history lines (e.g. the measured before/after of the engine
     /// rewrite that introduced this file). Carried forward verbatim from the
     /// committed baseline on every rewrite so the record survives re-runs.
@@ -250,6 +265,38 @@ fn measure_bins(quick: bool) -> BinNumbers {
     }
 }
 
+/// One timed pass over the fig6 corpus (every app × device, optimized
+/// kernels) under `engine`; returns measurements performed.
+fn fig6_corpus_pass(engine: cashmere_mcl::InterpEngine) -> u64 {
+    let prev = cashmere_mcl::default_engine();
+    cashmere_mcl::set_default_engine(engine);
+    let mut n = 0u64;
+    for app in AppId::ALL {
+        for dev in DeviceKind::ALL {
+            black_box(kernel_gflops(app, KernelSet::Optimized, dev).unwrap_or(0.0));
+            n += 1;
+        }
+    }
+    cashmere_mcl::set_default_engine(prev);
+    n
+}
+
+fn measure_kernels(quick: bool) -> KernelNumbers {
+    // best-of-2 even in quick mode: the first corpus pass pays allocator
+    // and cache warmup, and the VM gate below compares quick CI runs
+    // against a committed full-run baseline.
+    let reps = if quick { 2 } else { 3 };
+    let (t_vm, n_vm) = best_of(reps, || fig6_corpus_pass(cashmere_mcl::InterpEngine::Vm));
+    let (t_tree, n_tree) = best_of(reps, || fig6_corpus_pass(cashmere_mcl::InterpEngine::Tree));
+    let vm = n_vm as f64 / t_vm;
+    let tree = n_tree as f64 / t_tree;
+    KernelNumbers {
+        vm_measurements_per_sec: vm,
+        tree_measurements_per_sec: tree,
+        vm_speedup_vs_tree: vm / tree,
+    }
+}
+
 /// The measured quantities as a flat counter map, for the regression
 /// explainer's counters-only diff on a failed `--check`.
 fn perf_counters(b: &SelfBench) -> std::collections::BTreeMap<String, f64> {
@@ -268,6 +315,18 @@ fn perf_counters(b: &SelfBench) -> std::collections::BTreeMap<String, f64> {
         ("sweep.wall_s_jobs_n", b.sweep.wall_s_jobs_n),
         ("bins.scaling_kmeans_wall_s", b.bins.scaling_kmeans_wall_s),
         ("bins.fig6_kernels_wall_s", b.bins.fig6_kernels_wall_s),
+        (
+            "kernels.vm_measurements_per_sec",
+            b.kernels
+                .as_ref()
+                .map_or(0.0, |k| k.vm_measurements_per_sec),
+        ),
+        (
+            "kernels.tree_measurements_per_sec",
+            b.kernels
+                .as_ref()
+                .map_or(0.0, |k| k.tree_measurements_per_sec),
+        ),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -341,12 +400,24 @@ fn main() {
     );
     println!("  fig6 kernel sweep:     {:.3}s", bins.fig6_kernels_wall_s);
 
+    println!("selfbench: kernel interpretation (fig6 corpus, VM vs tree)");
+    let kernels = measure_kernels(quick);
+    println!(
+        "  vm:   {:>8.1} measurements/s",
+        kernels.vm_measurements_per_sec
+    );
+    println!(
+        "  tree: {:>8.1} measurements/s ({:.2}x speedup)",
+        kernels.tree_measurements_per_sec, kernels.vm_speedup_vs_tree
+    );
+
     let result = SelfBench {
         schema: 1,
         quick,
         engine,
         sweep: sweep_n,
         bins,
+        kernels: Some(kernels),
         provenance: baseline
             .as_ref()
             .map(|b| b.provenance.clone())
@@ -371,10 +442,37 @@ fn main() {
                     "check: events/sec {:.0} vs committed baseline {:.0} ({:.2}x)",
                     new, old, ratio
                 );
+                // The kernel path is gated like the engine: the VM floor
+                // must not regress more than 30% against the committed
+                // baseline (skipped against pre-VM baselines, whose
+                // `kernels` section deserializes as zeros).
+                let base_kernels = base
+                    .kernels
+                    .as_ref()
+                    .map_or(0.0, |k| k.vm_measurements_per_sec);
+                let new_kernels = result
+                    .kernels
+                    .as_ref()
+                    .map_or(0.0, |k| k.vm_measurements_per_sec);
+                let kernel_ratio = if base_kernels > 0.0 {
+                    new_kernels / base_kernels
+                } else {
+                    1.0
+                };
+                if base_kernels > 0.0 {
+                    println!(
+                        "check: kernel measurements/sec {new_kernels:.1} vs committed baseline {base_kernels:.1} ({kernel_ratio:.2}x)"
+                    );
+                }
                 // >30% regression fails the build. Headroom below that is
                 // noise on shared CI runners.
-                if ratio < 0.70 {
-                    eprintln!("check FAILED: engine events/sec regressed more than 30%");
+                if ratio < 0.70 || kernel_ratio < 0.70 {
+                    if ratio < 0.70 {
+                        eprintln!("check FAILED: engine events/sec regressed more than 30%");
+                    }
+                    if kernel_ratio < 0.70 {
+                        eprintln!("check FAILED: kernel measurements/sec regressed more than 30%");
+                    }
                     // Explain the failure: which measured quantity moved
                     // the most, ranked — the same digest the `diff` bin
                     // prints for cluster runs.

@@ -159,6 +159,8 @@ pub fn fingerprint(label: &str, makespan_s: f64, cap: &ObsCapture) -> RunFingerp
         ("crashes", r.crashes),
         ("jobs_restarted", r.jobs_restarted),
         ("joins", r.joins),
+        ("kernel_memo_hits", r.kernel_memo_hits),
+        ("kernel_memo_misses", r.kernel_memo_misses),
         ("orphans_harvested", r.orphans_harvested),
         ("orphans_reused", r.orphans_reused),
         ("orphans_expired", r.orphans_expired),

@@ -42,6 +42,11 @@ pub struct CommonArgs {
     pub scenario: Option<String>,
     /// Print resolved scenario(s) instead of running (`--dump-scenario`).
     pub dump: bool,
+    /// Kernel interpreter engine override (`--interp tree|vm`; the VM is
+    /// the default). Applied process-wide before any workers spawn, so it
+    /// is deliberately *not* part of the serialized [`Scenario`] — both
+    /// engines produce bit-identical statistics and artifacts.
+    pub interp: cashmere_mcl::InterpEngine,
 }
 
 fn fail(msg: &str) -> ! {
@@ -85,6 +90,11 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
             }
             "--scenario" => common.scenario = Some(value("--scenario")),
             "--dump-scenario" => common.dump = true,
+            "--interp" => {
+                let v = value("--interp");
+                common.interp = cashmere_mcl::InterpEngine::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown interpreter `{v}` (tree|vm)")));
+            }
             _ => rest.push(a),
         }
     }
@@ -92,6 +102,10 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
     let (jobs, rest) = jobs_from_args(rest);
     common.obs = obs;
     common.jobs = jobs;
+    // Select the engine before any sweep workers spawn: every launch in the
+    // process (including `--jobs N` workers) sees the same engine, keeping
+    // parallel sweeps byte-deterministic.
+    cashmere_mcl::set_default_engine(common.interp);
     (common, rest)
 }
 

@@ -15,7 +15,7 @@
 
 use cashmere_hwdesc::{Hierarchy, LevelId};
 use cashmere_mcl::interp::Sampling;
-use cashmere_mcl::launch::LaunchConfig;
+use cashmere_mcl::launch::{LaunchConfig, LaunchKey, LaunchMemo};
 use cashmere_mcl::stats::KernelStats;
 use cashmere_mcl::value::ArgValue;
 use cashmere_mcl::{compile, CheckError, CheckedKernel};
@@ -27,38 +27,20 @@ struct KernelVersions {
     versions: Vec<CheckedKernel>,
 }
 
-/// Cache key: kernel identity + geometry + argument shape.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct StatsKey {
-    pub kernel: String,
-    pub level: LevelId,
-    pub group_size: usize,
-    pub warp_width: usize,
-    /// Scalar args and array dims, flattened.
-    pub shape: Vec<i64>,
-}
+/// Cache key: kernel identity + geometry + argument shape (the memoization
+/// key defined by the MCL launch layer).
+pub type StatsKey = LaunchKey;
 
 /// Shape signature of an argument list (scalars + array dims).
 pub fn arg_shape(args: &[ArgValue]) -> Vec<i64> {
-    let mut shape = Vec::new();
-    for a in args {
-        match a {
-            ArgValue::Int(v) => shape.push(*v),
-            ArgValue::Float(v) => shape.push(v.to_bits() as i64),
-            ArgValue::Array(arr) => {
-                shape.push(-(arr.rank() as i64));
-                shape.extend(arr.dims.iter().map(|d| *d as i64));
-            }
-        }
-    }
-    shape
+    LaunchKey::arg_shape(args)
 }
 
 /// Registry of compiled kernels plus the hardware hierarchy they target.
 pub struct KernelRegistry {
     hierarchy: Hierarchy,
     kernels: HashMap<String, KernelVersions>,
-    stats_cache: HashMap<StatsKey, KernelStats>,
+    memo: LaunchMemo,
     pub default_sampling: Sampling,
 }
 
@@ -67,7 +49,7 @@ impl KernelRegistry {
         KernelRegistry {
             hierarchy,
             kernels: HashMap::new(),
-            stats_cache: HashMap::new(),
+            memo: LaunchMemo::new(),
             default_sampling: Sampling::default(),
         }
     }
@@ -144,18 +126,33 @@ impl KernelRegistry {
         Some(LaunchConfig::for_device(ck, &self.hierarchy, device))
     }
 
-    /// Look up cached statistics.
-    pub fn cached_stats(&self, key: &StatsKey) -> Option<&KernelStats> {
-        self.stats_cache.get(key)
+    /// Look up memoized statistics, counting the hit or miss.
+    pub fn cached_stats(&mut self, key: &StatsKey) -> Option<KernelStats> {
+        self.memo.lookup(key)
     }
 
-    /// Insert statistics into the cache.
+    /// Insert statistics into the memo table.
     pub fn cache_stats(&mut self, key: StatsKey, stats: KernelStats) {
-        self.stats_cache.insert(key, stats);
+        self.memo.insert(key, stats);
     }
 
     pub fn cache_len(&self) -> usize {
-        self.stats_cache.len()
+        self.memo.len()
+    }
+
+    /// Memoized sampled launches served from the cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.memo.hits()
+    }
+
+    /// Sampled launches that had to be interpreted (then memoized).
+    pub fn cache_misses(&self) -> u64 {
+        self.memo.misses()
+    }
+
+    /// The memo table itself (deterministic iteration).
+    pub fn memo(&self) -> &LaunchMemo {
+        &self.memo
     }
 }
 
@@ -278,5 +275,6 @@ mod tests {
         r.cache_stats(key.clone(), KernelStats::default());
         assert!(r.cached_stats(&key).is_some());
         assert_eq!(r.cache_len(), 1);
+        assert_eq!((r.cache_hits(), r.cache_misses()), (1, 1));
     }
 }

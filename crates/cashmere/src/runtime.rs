@@ -565,14 +565,18 @@ impl CashmereLeafRuntime {
             }
         }
 
-        // Interpret the kernel: fully (functional) or sampled+cached.
-        let ck = self
-            .registry
-            .select(&call.kernel, nd.devices[didx].sim.level)
-            .expect("allowed device has a version");
-        let level = ck.level;
-        let cfg =
-            LaunchConfig::for_device(ck, self.registry.hierarchy(), nd.devices[didx].sim.level);
+        // Interpret the kernel: fully (functional) or sampled+memoized.
+        let device_level = nd.devices[didx].sim.level;
+        let (level, cfg) = {
+            let ck = self
+                .registry
+                .select(&call.kernel, device_level)
+                .expect("allowed device has a version");
+            (
+                ck.level,
+                LaunchConfig::for_device(ck, self.registry.hierarchy(), device_level),
+            )
+        };
         let key = StatsKey {
             kernel: call.kernel.clone(),
             level,
@@ -581,7 +585,7 @@ impl CashmereLeafRuntime {
             shape: arg_shape(&call.args),
         };
 
-        // The cache stores *unscaled* statistics; calibration scaling is
+        // The memo stores *unscaled* statistics; calibration scaling is
         // applied per call (jobs with the same shape may calibrate
         // differently).
         let (args_back, stats) = if !self.config.functional {
@@ -589,9 +593,18 @@ impl CashmereLeafRuntime {
                 sampling: self.registry.default_sampling,
                 extra_scale: 1.0,
             };
-            let mut stats = match self.registry.cached_stats(&key) {
-                Some(cached) => cached.clone(),
+            let cached = self.registry.cached_stats(&key);
+            let mut stats = match cached {
+                Some(cached) => {
+                    report.kernel_memo_hits += 1;
+                    cached
+                }
                 None => {
+                    report.kernel_memo_misses += 1;
+                    let ck = self
+                        .registry
+                        .select(&call.kernel, device_level)
+                        .expect("allowed device has a version");
                     let run = nd.devices[didx]
                         .sim
                         .run_kernel(self.registry.hierarchy(), ck, call.args.clone(), mode)
@@ -605,6 +618,10 @@ impl CashmereLeafRuntime {
             }
             (call.args.clone(), stats)
         } else {
+            let ck = self
+                .registry
+                .select(&call.kernel, device_level)
+                .expect("allowed device has a version");
             let run = nd.devices[didx]
                 .sim
                 .run_kernel(

@@ -15,8 +15,11 @@ use crate::ast::{walk_stmts, Expr, StmtKind};
 use crate::check::CheckedKernel;
 use crate::cost::DeviceClass;
 use crate::interp::{ExecOptions, Sampling};
+use crate::stats::KernelStats;
+use crate::value::ArgValue;
 use cashmere_hwdesc::{Hierarchy, LevelId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Geometry for one kernel launch on one device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,6 +108,105 @@ impl LaunchConfig {
     }
 }
 
+/// Memoization key for a sampled measurement launch: kernel identity,
+/// launch geometry, and the argument *shape signature* (scalar values and
+/// array dims — never array contents, which sampled statistics do not
+/// depend on for the supported kernel corpus).
+///
+/// `Ord` (not `Hash`) so the memo table iterates deterministically — the
+/// cache must never introduce run-order dependence into `--jobs` replays.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LaunchKey {
+    pub kernel: String,
+    pub level: LevelId,
+    pub group_size: usize,
+    pub warp_width: usize,
+    /// Scalar args and array dims, flattened (see [`LaunchKey::arg_shape`]).
+    pub shape: Vec<i64>,
+}
+
+impl LaunchKey {
+    /// Shape signature of an argument list: scalar values (floats by bit
+    /// pattern) and array ranks + dims.
+    pub fn arg_shape(args: &[ArgValue]) -> Vec<i64> {
+        let mut shape = Vec::new();
+        for a in args {
+            match a {
+                ArgValue::Int(v) => shape.push(*v),
+                ArgValue::Float(v) => shape.push(v.to_bits() as i64),
+                ArgValue::Array(arr) => {
+                    shape.push(-(arr.rank() as i64));
+                    shape.extend(arr.dims.iter().map(|d| *d as i64));
+                }
+            }
+        }
+        shape
+    }
+}
+
+/// Memo table for sampled-launch statistics with hit/miss accounting.
+///
+/// Repeated identical measurement launches are the common case in sweeps
+/// and the fig6 corpus; the memo turns every repeat into a `BTreeMap`
+/// lookup. The stored statistics are *unscaled* — calibration scaling is
+/// applied per call by the runtime.
+#[derive(Debug, Default)]
+pub struct LaunchMemo {
+    map: BTreeMap<LaunchKey, KernelStats>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LaunchMemo {
+    pub fn new() -> LaunchMemo {
+        LaunchMemo::default()
+    }
+
+    /// Look up a memoized result, counting the hit or miss.
+    pub fn lookup(&mut self, key: &LaunchKey) -> Option<KernelStats> {
+        match self.map.get(key) {
+            Some(s) => {
+                self.hits += 1;
+                Some(s.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without touching the counters.
+    pub fn peek(&self, key: &LaunchKey) -> Option<&KernelStats> {
+        self.map.get(key)
+    }
+
+    pub fn insert(&mut self, key: LaunchKey, stats: KernelStats) {
+        self.map.insert(key, stats);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Deterministic (key-ordered) iteration over memoized entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&LaunchKey, &KernelStats)> {
+        self.map.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +259,48 @@ mod tests {
         let ck = compile(src, &h).unwrap();
         let cfg = LaunchConfig::for_device(&ck, &h, DeviceKind::XeonPhi.level(&h));
         assert_eq!(cfg.group_size, 4);
+    }
+
+    #[test]
+    fn launch_memo_counts_hits_and_iterates_in_key_order() {
+        use crate::ast::ElemTy;
+        use crate::value::ArrayArg;
+        let mut memo = LaunchMemo::new();
+        let key = |kernel: &str, n: i64| LaunchKey {
+            kernel: kernel.to_string(),
+            level: LevelId(0),
+            group_size: 256,
+            warp_width: 32,
+            shape: vec![n],
+        };
+        assert!(memo.lookup(&key("b", 8)).is_none());
+        memo.insert(key("b", 8), KernelStats::default());
+        memo.insert(key("a", 8), KernelStats::default());
+        assert!(memo.lookup(&key("b", 8)).is_some());
+        assert!(
+            memo.lookup(&key("b", 9)).is_none(),
+            "shape is part of the key"
+        );
+        assert_eq!((memo.hits(), memo.misses()), (1, 2));
+        assert_eq!(memo.len(), 2);
+        let order: Vec<&str> = memo.iter().map(|(k, _)| k.kernel.as_str()).collect();
+        assert_eq!(order, vec!["a", "b"], "deterministic key-ordered iteration");
+
+        // Shape signature: contents don't matter, sizes and scalars do.
+        let s1 = LaunchKey::arg_shape(&[
+            ArgValue::Int(8),
+            ArgValue::Array(ArrayArg::zeros(ElemTy::Float, &[8])),
+        ]);
+        let s2 = LaunchKey::arg_shape(&[
+            ArgValue::Int(8),
+            ArgValue::Array(ArrayArg::float(&[8], vec![1.0; 8])),
+        ]);
+        let s3 = LaunchKey::arg_shape(&[
+            ArgValue::Int(16),
+            ArgValue::Array(ArrayArg::zeros(ElemTy::Float, &[16])),
+        ]);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
     }
 
     #[test]

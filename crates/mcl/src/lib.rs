@@ -22,6 +22,7 @@ pub mod analyze;
 pub mod ast;
 pub mod check;
 pub mod codegen;
+pub mod compile;
 pub mod cost;
 pub mod fmt;
 pub mod interp;
@@ -30,6 +31,7 @@ pub mod parse;
 pub mod stats;
 pub mod translate;
 pub mod value;
+pub mod vm;
 
 pub use analyze::{analyze, Feedback, FeedbackKind};
 pub use ast::{ElemTy, Kernel};
@@ -37,11 +39,12 @@ pub use check::{check, CheckError, CheckedKernel};
 pub use cost::{estimate_time, CostBreakdown, DeviceClass};
 pub use fmt::{expr_to_string, kernel_to_string};
 pub use interp::{execute, ExecError, ExecOptions, ExecResult, Sampling};
-pub use launch::LaunchConfig;
+pub use launch::{LaunchConfig, LaunchKey, LaunchMemo};
 pub use parse::{parse, ParseError};
 pub use stats::KernelStats;
 pub use translate::translate_to;
 pub use value::{ArgValue, ArrayArg, Buffer};
+pub use vm::{default_engine, execute_with_engine, set_default_engine, InterpEngine};
 
 /// Parse + check in one step against a hierarchy.
 pub fn compile(

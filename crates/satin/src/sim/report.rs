@@ -74,6 +74,11 @@ pub struct RunReport {
     pub jobs_restarted: u64,
     /// Nodes that (re)joined the cluster mid-run.
     pub joins: u64,
+    // --- kernel measurement path ---
+    /// Sampled kernel measurements served from the launch memo table.
+    pub kernel_memo_hits: u64,
+    /// Sampled kernel measurements actually interpreted (then memoized).
+    pub kernel_memo_misses: u64,
     // --- orphan-result reuse (graceful recovery) ---
     /// Completed subtree results salvaged into the global result table when
     /// their subtree was orphaned by a crash.
@@ -133,6 +138,8 @@ impl RunReport {
             crashes: 0,
             jobs_restarted: 0,
             joins: 0,
+            kernel_memo_hits: 0,
+            kernel_memo_misses: 0,
             orphans_harvested: 0,
             orphans_reused: 0,
             orphans_expired: 0,

@@ -198,6 +198,74 @@ proptest! {
         let _ = cashmere_mcl::parse(&src);
     }
 
+    /// Differential test of the register-bytecode VM against the tree
+    /// walker: random expressions, lane counts, group sizes and argument
+    /// values, through divergent branches and lane-varying loop trip
+    /// counts, in both full and sampled modes. Statistics must be
+    /// bit-identical (f64 `to_bits` via the Debug rendering) and every
+    /// output buffer byte-identical.
+    #[test]
+    fn vm_matches_tree_walker(
+        expr in arb_expr(),
+        n in 1u64..300,
+        group in prop::sample::select(vec![16usize, 64, 256]),
+        simd in prop::sample::select(vec![8usize, 16, 32]),
+        seed in 0i64..1000,
+        sampled in prop::sample::select(vec![false, true]),
+    ) {
+        let src = format!(
+            "perfect void gen(int n, int seed, float[n] out, float[n] xs) {{
+  foreach (int i in n threads) {{
+    float x = xs[i];
+    float acc = 0.0;
+    for (int k = 0; k < i % 5 + 1; k = k + 1) {{
+      acc = acc + x * (float) k;
+    }}
+    if ((i + seed) % 3 == 0) {{
+      out[i] = {};
+    }} else {{
+      out[i] = acc - x;
+    }}
+  }}
+}}",
+            expr.to_mcpl()
+        );
+        let h = standard_hierarchy();
+        let ck = compile(&src, &h).expect("generated kernel compiles");
+        let opts = ExecOptions {
+            simd_width: simd,
+            group_size: group,
+            sample: sampled.then(Default::default),
+        };
+        let mk_args = || {
+            let xs: Vec<f64> = (0..n)
+                .map(|k| f64::from((k as i64 * 37 + seed) as f32 * 0.25 - 9.0))
+                .collect();
+            vec![
+                ArgValue::Int(n as i64),
+                ArgValue::Int(seed),
+                ArgValue::Array(ArrayArg::zeros(ElemTy::Float, &[n])),
+                ArgValue::Array(ArrayArg::float(&[n], xs)),
+            ]
+        };
+        let units = ["threads".to_string()];
+        let tree = execute(&ck, mk_args(), &units, &opts).expect("tree runs");
+        let vm = cashmere_mcl::vm::execute(&ck, mk_args(), &units, &opts).expect("vm runs");
+        prop_assert_eq!(format!("{:?}", tree.stats), format!("{:?}", vm.stats));
+        prop_assert_eq!(
+            tree.stats.issue_cycles.to_bits(),
+            vm.stats.issue_cycles.to_bits()
+        );
+        prop_assert_eq!(tree.stats.flops.to_bits(), vm.stats.flops.to_bits());
+        prop_assert_eq!(
+            tree.stats.global_bytes.to_bits(),
+            vm.stats.global_bytes.to_bits()
+        );
+        for (t, v) in tree.args.iter().zip(&vm.args) {
+            prop_assert_eq!(format!("{t:?}"), format!("{v:?}"));
+        }
+    }
+
     #[test]
     fn hdl_parser_never_panics_on_arbitrary_input(src in "\\PC*") {
         let _ = cashmere_hwdesc::hdl::parse(&src);
@@ -216,4 +284,47 @@ proptest! {
         let h = standard_hierarchy();
         let _ = compile(&src, &h); // must not panic either way
     }
+}
+
+/// Regression pin: exact counter values for a fixed divergent kernel, on
+/// both engines. If either interpreter's accounting drifts — even by one
+/// ULP — this fails, independently of the differential property above.
+#[test]
+fn engines_pin_exact_counters() {
+    let src = "perfect void pin(int n, float[n] out, float[n] xs) {
+  foreach (int i in n threads) {
+    float x = xs[i];
+    float acc = 0.0;
+    for (int k = 0; k < i % 3 + 1; k = k + 1) { acc = acc + x; }
+    if (i % 2 == 0) { out[i] = acc * 2.0; } else { out[i] = acc; }
+  }
+}";
+    let h = standard_hierarchy();
+    let ck = compile(src, &h).expect("pin kernel compiles");
+    let units = ["threads".to_string()];
+    let mk_args = || {
+        let xs: Vec<f64> = (0..96).map(|k| f64::from(k as f32) * 0.125).collect();
+        vec![
+            ArgValue::Int(96),
+            ArgValue::Array(ArrayArg::zeros(ElemTy::Float, &[96])),
+            ArgValue::Array(ArrayArg::float(&[96], xs)),
+        ]
+    };
+    let opts = ExecOptions::default();
+    let tree = execute(&ck, mk_args(), &units, &opts).expect("tree runs");
+    let vm = cashmere_mcl::vm::execute(&ck, mk_args(), &units, &opts).expect("vm runs");
+    for (name, r) in [("tree", &tree), ("vm", &vm)] {
+        let s = &r.stats;
+        assert_eq!(s.total_threads, 96.0, "{name} total_threads");
+        assert_eq!(s.raw_lanes, 96.0, "{name} raw_lanes");
+        assert_eq!(s.groups, 1.0, "{name} groups");
+        assert_eq!(s.flops, 240.0, "{name} flops");
+        assert_eq!(s.branch_events, 15.0, "{name} branch_events");
+        assert_eq!(s.divergent_branches, 9.0, "{name} divergent_branches");
+    }
+    assert_eq!(
+        format!("{:?}", tree.stats),
+        format!("{:?}", vm.stats),
+        "full stats must be bit-identical between engines"
+    );
 }

@@ -301,4 +301,5 @@ fn main() {
     println!("{}", t.render());
 
     write_report("ablation", &scenarios, &json);
+    cli::finish(&common, &scenarios);
 }

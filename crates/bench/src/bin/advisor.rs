@@ -227,4 +227,5 @@ fn main() {
             b.speedup
         );
     }
+    cli::finish(&common, std::slice::from_ref(&base));
 }

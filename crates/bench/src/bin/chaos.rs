@@ -308,4 +308,5 @@ fn main() {
         format!("chaos_{}_no_reuse", base.name)
     };
     write_report(&name, &scenarios, &json);
+    cli::finish(&common, &scenarios);
 }

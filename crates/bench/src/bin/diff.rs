@@ -182,6 +182,8 @@ fn main() {
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 
+    // Before the assertion exits, so a failing diff still leaves a profile.
+    cli::finish(&common, &[]);
     if assert_zero && !d.is_zero() {
         eprintln!("diff: FAILED --assert-zero: the runs differ");
         std::process::exit(1);

@@ -143,4 +143,5 @@ fn main() {
         "expected shape (paper): optimization helps drastically for matmul /\n\
          k-means / n-body; the raytracer barely moves (divergence-bound)."
     );
+    cli::finish(&common, &[]);
 }

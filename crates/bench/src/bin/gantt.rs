@@ -162,4 +162,5 @@ fn main() {
         Ok(()) => println!("[wrote {}]", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+    cli::finish(&common, std::slice::from_ref(&sc));
 }

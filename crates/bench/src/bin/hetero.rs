@@ -233,4 +233,5 @@ fn main() {
          applications, matmul lower (network-bound); heterogeneous efficiency\n\
          comparable to the homogeneous runs."
     );
+    cli::finish(&common, &scenarios);
 }

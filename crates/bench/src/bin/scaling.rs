@@ -174,4 +174,5 @@ fn main() {
          flattens with node count (network-bound); k-means and n-body scale\n\
          near-linearly."
     );
+    cli::finish(&common, &scenarios);
 }

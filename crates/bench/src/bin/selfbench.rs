@@ -23,7 +23,11 @@
 //! - **schedule/cancel ops/sec** in isolation;
 //! - **sweep wall time** of an in-process scaling sweep (k-means, three
 //!   series, 1–16 nodes) at `--jobs 1` vs all cores;
-//! - **per-bin wall proxies** for the `scaling` and `fig6` workloads.
+//! - **per-bin wall proxies** for the `scaling` and `fig6` workloads;
+//! - **per-subsystem wall shares** from a self-profiled pass over the same
+//!   workloads (see `cashmere_des::obs::prof`), plus host provenance
+//!   (logical cores, repetition counts, quick-vs-full) so the numbers'
+//!   context is machine-readable.
 //!
 //! With `--check`, the previously committed `BENCH_sim.json` is read
 //! *before* being overwritten and the run fails (exit 1) if engine
@@ -35,9 +39,10 @@
 use cashmere::ClusterSpec;
 use cashmere_apps::KernelSet;
 use cashmere_bench::{
-    cli, default_jobs, kernel_gflops, run_scenario, sweep, AppId, Scenario, Series,
+    cli, default_jobs, kernel_gflops, run_scenario, subsystem_rows, sweep, AppId, Scenario, Series,
+    SubsystemShare,
 };
-use cashmere_des::obs::{RunDiff, RunFingerprint};
+use cashmere_des::obs::{prof, RunDiff, RunFingerprint};
 use cashmere_des::{Sim, SimTime};
 use cashmere_hwdesc::DeviceKind;
 use serde::{Deserialize, Serialize};
@@ -83,6 +88,26 @@ struct KernelNumbers {
     vm_speedup_vs_tree: f64,
 }
 
+/// What kind of host produced the numbers, machine-readable: the "1-core
+/// CI runner, sweep parallelism not observable" caveat as data instead of
+/// a prose note, plus the iteration counts the measurements used.
+#[derive(Serialize, Deserialize)]
+struct HostProvenance {
+    /// Logical cores available to the process — the ceiling on
+    /// `sweep.speedup`.
+    logical_cores: usize,
+    /// Quick (CI) or full repetition counts.
+    mode: String,
+    /// Best-of repetitions for the engine microbenchmarks.
+    engine_reps: usize,
+    /// Events per engine microbenchmark repetition.
+    engine_events: u64,
+    /// Best-of repetitions for the kernel-corpus passes.
+    kernel_reps: usize,
+    /// Un-timed warm-up sweeps before the jobs=1 / jobs=N measurements.
+    sweep_warmup_runs: usize,
+}
+
 #[derive(Serialize, Deserialize)]
 struct SelfBench {
     schema: u32,
@@ -93,6 +118,13 @@ struct SelfBench {
     /// Kernel-interpretation throughput (`None` in pre-VM baselines; the
     /// offline serde shim maps a missing field to `None`).
     kernels: Option<KernelNumbers>,
+    /// Host description and measurement knobs (`None` in old baselines).
+    host: Option<HostProvenance>,
+    /// Per-subsystem wall share of a profiled pass (in-process scaling
+    /// sweep + fig6 kernel corpus), heaviest first — so a regression
+    /// report can say "mcl::execute grew 2.1x" instead of "events/sec
+    /// dropped". `None` in pre-profiler baselines.
+    subsystems: Option<Vec<SubsystemShare>>,
     /// Free-form history lines (e.g. the measured before/after of the engine
     /// rewrite that introduced this file). Carried forward verbatim from the
     /// committed baseline on every rewrite so the record survives re-runs.
@@ -174,9 +206,36 @@ fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
     (best, units)
 }
 
+fn engine_reps(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        7
+    }
+}
+
+fn engine_events(quick: bool) -> u64 {
+    if quick {
+        50_000
+    } else {
+        200_000
+    }
+}
+
+fn kernel_reps(quick: bool) -> usize {
+    // best-of-2 even in quick mode: the first corpus pass pays allocator
+    // and cache warmup, and the VM gate below compares quick CI runs
+    // against a committed full-run baseline.
+    if quick {
+        2
+    } else {
+        3
+    }
+}
+
 fn measure_engine(quick: bool) -> EngineNumbers {
-    let reps = if quick { 3 } else { 7 };
-    let n: u64 = if quick { 50_000 } else { 200_000 };
+    let reps = engine_reps(quick);
+    let n: u64 = engine_events(quick);
     let (t_sr, ev_sr) = best_of(reps, || schedule_run(n));
     let (t_ch, ev_ch) = best_of(reps, || churn(1_000, n));
     let (t_sc, ops_sc) = best_of(reps, || schedule_cancel(n));
@@ -281,11 +340,22 @@ fn fig6_corpus_pass(engine: cashmere_mcl::InterpEngine) -> u64 {
     n
 }
 
+/// A profiled pass over the hot paths (one in-process scaling sweep plus
+/// one kernel-corpus pass), reduced to per-subsystem wall shares. Run
+/// *after* the timed measurements so profiling overhead — near-zero, but
+/// not zero — never skews the gated numbers.
+fn measure_subsystems(quick: bool, jobs: usize, keep_profiling: bool) -> Vec<SubsystemShare> {
+    prof::set_enabled(true);
+    let _ = prof::take(); // fresh slate: only this pass is attributed
+    run_sweep(&scaling_points(quick), jobs);
+    fig6_corpus_pass(cashmere_mcl::default_engine());
+    let rows = subsystem_rows(&prof::take());
+    prof::set_enabled(keep_profiling);
+    rows
+}
+
 fn measure_kernels(quick: bool) -> KernelNumbers {
-    // best-of-2 even in quick mode: the first corpus pass pays allocator
-    // and cache warmup, and the VM gate below compares quick CI runs
-    // against a committed full-run baseline.
-    let reps = if quick { 2 } else { 3 };
+    let reps = kernel_reps(quick);
     let (t_vm, n_vm) = best_of(reps, || fig6_corpus_pass(cashmere_mcl::InterpEngine::Vm));
     let (t_tree, n_tree) = best_of(reps, || fig6_corpus_pass(cashmere_mcl::InterpEngine::Tree));
     let vm = n_vm as f64 / t_vm;
@@ -330,7 +400,36 @@ fn perf_counters(b: &SelfBench) -> std::collections::BTreeMap<String, f64> {
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
+    .chain(b.subsystems.iter().flatten().map(|s| {
+        // Shares, not milliseconds: host-speed-independent, so the diff
+        // ranks redistribution of wall time, not machine noise.
+        (format!("prof.{}.share", s.name), s.share)
+    }))
     .collect()
+}
+
+/// The subsystem whose wall share moved most between two breakdowns:
+/// `(name, old_share, new_share)`.
+fn most_moved_subsystem(
+    old: &[SubsystemShare],
+    new: &[SubsystemShare],
+) -> Option<(String, f64, f64)> {
+    let share = |rows: &[SubsystemShare], name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map_or(0.0, |r| r.share)
+    };
+    old.iter()
+        .map(|r| r.name.clone())
+        .chain(new.iter().map(|r| r.name.clone()))
+        .map(|name| {
+            let (o, n) = (share(old, &name), share(new, &name));
+            (name, o, n)
+        })
+        .max_by(|a, b| {
+            let (da, db) = ((a.2 - a.1).abs(), (b.2 - b.1).abs());
+            da.partial_cmp(&db).unwrap()
+        })
 }
 
 fn bench_path() -> PathBuf {
@@ -411,13 +510,28 @@ fn main() {
         kernels.tree_measurements_per_sec, kernels.vm_speedup_vs_tree
     );
 
+    println!("selfbench: per-subsystem wall shares (profiled pass)");
+    let subsystems = measure_subsystems(quick, default_jobs(), common.obs.self_profile.is_some());
+    for s in subsystems.iter().take(6) {
+        println!("  {:>5.1}%  {}", s.share * 100.0, s.name);
+    }
+
     let result = SelfBench {
-        schema: 1,
+        schema: 2,
         quick,
         engine,
         sweep: sweep_n,
         bins,
         kernels: Some(kernels),
+        host: Some(HostProvenance {
+            logical_cores: default_jobs(),
+            mode: if quick { "quick" } else { "full" }.to_string(),
+            engine_reps: engine_reps(quick),
+            engine_events: engine_events(quick),
+            kernel_reps: kernel_reps(quick),
+            sweep_warmup_runs: 1,
+        }),
+        subsystems: Some(subsystems),
         provenance: baseline
             .as_ref()
             .map(|b| b.provenance.clone())
@@ -481,6 +595,18 @@ fn main() {
                         &RunFingerprint::counters_only("this run", perf_counters(&result)),
                     );
                     eprint!("{}", d.digest());
+                    // Name the subsystem behind the regression: where the
+                    // wall share redistributed to.
+                    if let Some((name, old_share, new_share)) = most_moved_subsystem(
+                        base.subsystems.as_deref().unwrap_or_default(),
+                        result.subsystems.as_deref().unwrap_or_default(),
+                    ) {
+                        eprintln!(
+                            "check: subsystem `{name}` moved most: {:.1}% -> {:.1}% of attributed wall",
+                            old_share * 100.0,
+                            new_share * 100.0
+                        );
+                    }
                     std::process::exit(1);
                 }
                 println!("check OK");
@@ -492,4 +618,5 @@ fn main() {
             }
         }
     }
+    cli::finish(&common, &[]);
 }

@@ -155,4 +155,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    cashmere_bench::cli::finish(&common, &[]);
 }

@@ -27,7 +27,8 @@ pub use advisor::{
     UtilizationSummary,
 };
 pub use obs::{
-    fingerprint, labeled_path, obs_args, parse_simtime, report_run, ObsArgs, ObsCapture,
+    fingerprint, labeled_path, obs_args, parse_simtime, report_run, subsystem_rows,
+    write_self_profile, ObsArgs, ObsCapture, SelfProfileReport, SubsystemShare,
 };
 pub use output::{write_json, write_report, Table};
 pub use runners::{kernel_gflops, AppId, RecoverySummary, RunOutcome, Series};

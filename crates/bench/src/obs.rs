@@ -14,16 +14,25 @@
 //!   write the sampled series as CSV plus OpenMetrics (`.om`) and Chrome
 //!   counter-track (`.trace.json`) siblings;
 //! * `--probe-out <path>` — where the probe CSV goes (defaults to
-//!   `probes.csv` when only `--probe` is given).
+//!   `probes.csv` when only `--probe` is given);
+//! * `--self-profile <stem>` — profile the *simulator host* and write
+//!   `<stem>.collapsed` (flamegraph input), `<stem>.json`
+//!   (provenance-enveloped context tree) and `<stem>.txt` (top-N digest).
+//!   Unlike every flag above it observes the simulator, not the simulated
+//!   cluster, so it implies no tracing and never changes artifact bytes.
 //!
 //! Bins that execute several runs (scaling sweeps, ablations) derive one
 //! trace file per run by inserting the run label before the extension.
 
+use crate::scenario::Scenario;
 use cashmere::AuditEntry;
-use cashmere_des::obs::{CriticalPath, MetricsRegistry, ProbeSeries, RunFingerprint};
+use cashmere_des::obs::{
+    prof, CriticalPath, MetricsRegistry, ProbeSeries, ProfTree, RunFingerprint,
+};
 use cashmere_des::trace::Trace;
 use cashmere_des::SimTime;
 use cashmere_satin::{critical_path_summary, RunReport};
+use serde::{Deserialize, Serialize};
 
 /// Parsed observability flags.
 #[derive(Debug, Clone, Default)]
@@ -38,10 +47,14 @@ pub struct ObsArgs {
     pub probe: Option<SimTime>,
     /// Probe series CSV output path (`--probe-out <path>`).
     pub probe_out: Option<String>,
+    /// Host self-profiler output stem (`--self-profile <stem>`).
+    pub self_profile: Option<String>,
 }
 
 impl ObsArgs {
-    /// Does the run need tracing enabled at all?
+    /// Does the run need tracing enabled at all? `self_profile` is
+    /// deliberately excluded: it observes the host, not the simulation,
+    /// and must not switch capture on (that would change artifact bytes).
     pub fn enabled(&self) -> bool {
         self.trace_path.is_some()
             || self.explain
@@ -109,6 +122,13 @@ pub fn obs_args(args: Vec<String>) -> (ObsArgs, Vec<String>) {
                     std::process::exit(2);
                 };
                 obs.probe_out = Some(path);
+            }
+            "--self-profile" => {
+                let Some(stem) = it.next() else {
+                    eprintln!("--self-profile requires an output stem (e.g. --self-profile prof)");
+                    std::process::exit(2);
+                };
+                obs.self_profile = Some(stem);
             }
             _ => rest.push(a),
         }
@@ -229,6 +249,7 @@ fn audit_digest(audit: &[AuditEntry]) -> String {
 /// `label`), and the critical-path / metrics / audit summaries when
 /// `--explain` is set.
 pub fn report_run(obs: &ObsArgs, label: &str, cap: &ObsCapture) {
+    let _prof = prof::scope("obs::export");
     if let Some(base) = &obs.trace_path {
         let path = labeled_path(base, label);
         match std::fs::write(&path, cap.trace.to_chrome_json()) {
@@ -285,6 +306,85 @@ pub fn report_run(obs: &ObsArgs, label: &str, cap: &ObsCapture) {
             );
         }
     }
+}
+
+/// One row of the per-subsystem breakdown: exclusive host time aggregated
+/// by frame name, as a share of [`ProfTree::total_ns`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemShare {
+    pub name: String,
+    pub share: f64,
+    pub self_ms: f64,
+}
+
+pub fn subsystem_rows(tree: &ProfTree) -> Vec<SubsystemShare> {
+    let total = tree.total_ns() as f64;
+    tree.subsystem_shares()
+        .into_iter()
+        .map(|(name, share)| SubsystemShare {
+            name,
+            share,
+            self_ms: share * total / 1e6,
+        })
+        .collect()
+}
+
+/// The provenance-enveloped JSON form of one self-profile: which program
+/// ran which scenarios, how much host wall elapsed, and where it went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfProfileReport {
+    pub schema: u32,
+    /// The profiled bin; also the collapsed-stack root frame.
+    pub program: String,
+    /// The scenarios the profiled process ran (empty for kernel-corpus
+    /// bins) — same envelope as every other provenance-bearing artifact.
+    pub provenance: Vec<Scenario>,
+    /// Host wall nanoseconds between profiler enable and export.
+    pub wall_ns: u64,
+    /// Wall attributed to named frames (sum of root inclusive times; can
+    /// exceed `wall_ns` with parallel sweep workers, like CPU time).
+    pub attributed_ns: u64,
+    /// `attributed_ns / wall_ns`.
+    pub attributed_share: f64,
+    /// Exclusive-time share per frame name, heaviest first.
+    pub subsystems: Vec<SubsystemShare>,
+    /// The full calling-context tree.
+    pub tree: ProfTree,
+}
+
+/// Drain the profiler and write the three `--self-profile` exports:
+/// `<stem>.collapsed`, `<stem>.json`, `<stem>.txt`. Prints the top-N
+/// digest so a profiled run explains itself without opening a file.
+pub fn write_self_profile(stem: &str, program: &str, scenarios: &[Scenario]) {
+    let tree = prof::take();
+    let wall_ns = prof::wall_ns();
+    let attributed_ns = tree.total_ns();
+    let report = SelfProfileReport {
+        schema: 1,
+        program: program.to_string(),
+        provenance: scenarios.iter().map(Scenario::provenance_form).collect(),
+        wall_ns,
+        attributed_ns,
+        attributed_share: attributed_ns as f64 / wall_ns.max(1) as f64,
+        subsystems: subsystem_rows(&tree),
+        tree,
+    };
+    let write = |path: String, contents: String| match std::fs::write(&path, contents) {
+        Ok(()) => println!("[wrote {path}]"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    };
+    write(format!("{stem}.collapsed"), report.tree.collapsed(program));
+    let mut json = serde_json::to_string_pretty(&report).expect("self-profile serializes");
+    json.push('\n');
+    write(format!("{stem}.json"), json);
+    let digest = report.tree.digest(12);
+    write(format!("{stem}.txt"), digest.clone());
+    print!("{digest}");
+    println!(
+        "self-profile: {:.1}% of {:.1}ms host wall attributed",
+        report.attributed_share * 100.0,
+        wall_ns as f64 / 1e6
+    );
 }
 
 #[cfg(test)]

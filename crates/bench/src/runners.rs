@@ -206,6 +206,7 @@ pub(crate) fn kernel_set(series: Series) -> KernelSet {
 /// Fig. 6 measurement: kernel execution time alone (no transfers) for one
 /// representative device job of the paper-scale problem.
 pub fn kernel_gflops(app: AppId, set: KernelSet, device: DeviceKind) -> Option<f64> {
+    let _prof = cashmere_des::obs::prof::scope("kernel::measure");
     let h = cashmere_hwdesc::standard_hierarchy();
     let dev = SimDevice::new(&h, device.level(&h)).ok()?;
     let job = (0u64, node_grain(app) / DEVICE_JOBS);

@@ -9,9 +9,12 @@
 //!
 //! [`common_args`] splits the flags every bin accepts out of argv in one
 //! pass — `--faults plan.json`, `--trace out.json`, `--explain`,
-//! `--metrics-out m.txt`, `--jobs N`, `--policy P`, `--scenario file.json`,
-//! `--dump-scenario` — returning the rest (argv[0] included) for
-//! bin-specific parsing. [`handle_scenario`] implements the declarative
+//! `--metrics-out m.txt`, `--jobs N`, `--policy P`, `--interp tree|vm`,
+//! `--self-profile stem`, `--scenario file.json`, `--dump-scenario` —
+//! returning the rest (argv[0] included) for bin-specific parsing.
+//! `--self-profile` enables the host self-profiler immediately (so setup
+//! is attributed too); preset bins call [`finish`] as their last statement
+//! to export the collapsed-stack/JSON/digest triple. [`handle_scenario`] implements the declarative
 //! entry: when `--scenario` names a spec file it is loaded, overridden by
 //! the CLI flags, validated, and either printed (`--dump-scenario`) or run
 //! through [`run_scenario`] with a provenance-bearing report written under
@@ -20,11 +23,12 @@
 //! [`dump_scenarios`] instead of running.
 
 use super::{run_scenario, Scenario, ScenarioReport};
-use crate::obs::{obs_args, report_run, ObsArgs};
+use crate::obs::{obs_args, report_run, write_self_profile, ObsArgs};
 use crate::output::Table;
 use crate::sweep::jobs_from_args;
 use cashmere::balancer::Policy;
 use cashmere_des::fault::FaultPlan;
+use cashmere_des::obs::prof;
 use std::path::PathBuf;
 
 /// Flags shared by all bench bins, split out of argv by [`common_args`].
@@ -42,11 +46,14 @@ pub struct CommonArgs {
     pub scenario: Option<String>,
     /// Print resolved scenario(s) instead of running (`--dump-scenario`).
     pub dump: bool,
-    /// Kernel interpreter engine override (`--interp tree|vm`; the VM is
-    /// the default). Applied process-wide before any workers spawn, so it
-    /// is deliberately *not* part of the serialized [`Scenario`] — both
-    /// engines produce bit-identical statistics and artifacts.
-    pub interp: cashmere_mcl::InterpEngine,
+    /// Kernel interpreter engine override (`--interp tree|vm`), applied to
+    /// scenarios like `--policy` and process-wide for kernel-corpus bins.
+    /// `None` leaves the scenario's own `interp` field (default: the VM)
+    /// in charge. Both engines produce bit-identical statistics.
+    pub interp: Option<cashmere_mcl::InterpEngine>,
+    /// The bin's name (argv[0] basename) — the root frame of
+    /// `--self-profile` collapsed stacks.
+    pub program: String,
 }
 
 fn fail(msg: &str) -> ! {
@@ -92,8 +99,10 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
             "--dump-scenario" => common.dump = true,
             "--interp" => {
                 let v = value("--interp");
-                common.interp = cashmere_mcl::InterpEngine::parse(&v)
-                    .unwrap_or_else(|| fail(&format!("unknown interpreter `{v}` (tree|vm)")));
+                common.interp = Some(
+                    cashmere_mcl::InterpEngine::parse(&v)
+                        .unwrap_or_else(|| fail(&format!("unknown interpreter `{v}` (tree|vm)"))),
+                );
             }
             _ => rest.push(a),
         }
@@ -102,11 +111,36 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
     let (jobs, rest) = jobs_from_args(rest);
     common.obs = obs;
     common.jobs = jobs;
+    common.program = rest
+        .first()
+        .map(|a| {
+            std::path::Path::new(a)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| a.clone())
+        })
+        .unwrap_or_else(|| "bench".to_string());
     // Select the engine before any sweep workers spawn: every launch in the
-    // process (including `--jobs N` workers) sees the same engine, keeping
-    // parallel sweeps byte-deterministic.
-    cashmere_mcl::set_default_engine(common.interp);
+    // process (including `--jobs N` workers) sees the same engine. (The
+    // scenario driver re-applies the spec's own `interp` per run.)
+    if let Some(e) = common.interp {
+        cashmere_mcl::set_default_engine(e);
+    }
+    // Start profiling before any work so setup (cluster build, kernel
+    // compilation) is attributed too.
+    if common.obs.self_profile.is_some() {
+        prof::set_enabled(true);
+    }
     (common, rest)
+}
+
+/// Write the `--self-profile` exports, if requested — the bins' last call
+/// before returning from `main`, passing the scenarios they ran (empty for
+/// kernel-corpus bins whose runs are not scenario-shaped).
+pub fn finish(common: &CommonArgs, scenarios: &[Scenario]) {
+    if let Some(stem) = &common.obs.self_profile {
+        write_self_profile(stem, &common.program, scenarios);
+    }
 }
 
 /// Apply the CLI overrides to a preset (or loaded) scenario: `--policy`,
@@ -115,6 +149,12 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
 pub fn apply_overrides(mut sc: Scenario, common: &CommonArgs) -> Scenario {
     if let Some(p) = common.policy {
         sc.policy = p;
+    }
+    if let Some(e) = common.interp {
+        sc.interp = e;
+    }
+    if common.obs.self_profile.is_some() {
+        sc.outputs.self_profile.clone_from(&common.obs.self_profile);
     }
     if !common.faults.is_empty() {
         sc.faults = Some(common.faults.clone());
@@ -169,6 +209,11 @@ pub fn handle_scenario(common: &CommonArgs) -> bool {
         print!("{}", sc.to_canonical_json());
         return true;
     }
+    // The spec itself can ask for a self-profile (outputs.self_profile);
+    // the CLI flag already enabled profiling in `common_args`.
+    if sc.outputs.self_profile.is_some() {
+        prof::set_enabled(true);
+    }
     let run = run_scenario(&sc);
     let r = &run.outcome;
     println!(
@@ -217,6 +262,9 @@ pub fn handle_scenario(common: &CommonArgs) -> bool {
     match std::fs::write(&path, report.to_canonical_json()) {
         Ok(()) => println!("[wrote {}]", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+    if let Some(stem) = &sc.outputs.self_profile {
+        write_self_profile(stem, &common.program, std::slice::from_ref(&sc));
     }
     true
 }

@@ -39,9 +39,10 @@ use cashmere_apps::nbody::{self, NbodyApp, NbodyProblem};
 use cashmere_apps::raytracer::{RaytracerApp, RaytracerProblem};
 use cashmere_apps::AppMode;
 use cashmere_des::fault::FaultPlan;
-use cashmere_des::obs::PerturbTarget;
+use cashmere_des::obs::{prof, PerturbTarget};
 use cashmere_des::SimTime;
 use cashmere_hwdesc::DeviceKind;
+use cashmere_mcl::InterpEngine;
 use cashmere_netsim::NetConfig;
 use cashmere_satin::{ClusterApp, ClusterSim, LeafRuntime, RunReport, SimConfig};
 use serde::{Content, DeError, Deserialize, Serialize};
@@ -252,6 +253,11 @@ pub struct OutputSpec {
     /// Provenance-bearing report path; `None` uses
     /// `bench/out/scenario_<name>.json`.
     pub report: Option<String>,
+    /// Host self-profiler output stem: writes `<stem>.collapsed` (flamegraph
+    /// input), `<stem>.json` and `<stem>.txt`. Profiles the *simulator host*,
+    /// never the simulated cluster — observer-pure by construction, so it is
+    /// deliberately excluded from [`OutputSpec::observe`].
+    pub self_profile: Option<String>,
 }
 
 impl OutputSpec {
@@ -276,6 +282,7 @@ impl Serialize for OutputSpec {
             (skey("probe_interval"), self.probe_interval.to_content()),
             (skey("probe_out"), self.probe_out.to_content()),
             (skey("report"), self.report.to_content()),
+            (skey("self_profile"), self.self_profile.to_content()),
         ])
     }
 }
@@ -296,6 +303,7 @@ impl Deserialize for OutputSpec {
                 "probe_interval",
                 "probe_out",
                 "report",
+                "self_profile",
             ],
             TY,
         )?;
@@ -307,6 +315,7 @@ impl Deserialize for OutputSpec {
             probe_interval: opt_field(m, "probe_interval")?,
             probe_out: opt_field(m, "probe_out")?,
             report: opt_field(m, "report")?,
+            self_profile: opt_field(m, "self_profile")?,
         })
     }
 }
@@ -368,6 +377,11 @@ pub struct Scenario {
     pub seed: u64,
     /// Device load-balancer policy (paper Sec. III-B default).
     pub policy: Policy,
+    /// Kernel interpreter engine (tree-walker or register VM). Both produce
+    /// bit-identical results — this is recorded so provenance captures which
+    /// engine executed the run, and overridable via `--interp` like
+    /// `--policy`.
+    pub interp: InterpEngine,
     pub cores_per_node: usize,
     /// Concurrent node-level leaves per node; `None` resolves to the series
     /// default (Satin: one per core, Cashmere: 2 so transfers of one job
@@ -397,7 +411,7 @@ pub struct Scenario {
 }
 
 /// Field names of the JSON form, in canonical (declaration) order.
-const SCENARIO_FIELDS: [&str; 21] = [
+const SCENARIO_FIELDS: [&str; 22] = [
     "name",
     "app",
     "series",
@@ -407,6 +421,7 @@ const SCENARIO_FIELDS: [&str; 21] = [
     "device_jobs",
     "seed",
     "policy",
+    "interp",
     "cores_per_node",
     "leaf_slots",
     "job_overhead",
@@ -433,6 +448,7 @@ impl Serialize for Scenario {
             (skey("device_jobs"), self.device_jobs.to_content()),
             (skey("seed"), self.seed.to_content()),
             (skey("policy"), self.policy.to_content()),
+            (skey("interp"), self.interp.to_content()),
             (skey("cores_per_node"), self.cores_per_node.to_content()),
             (skey("leaf_slots"), self.leaf_slots.to_content()),
             (skey("job_overhead"), self.job_overhead.to_content()),
@@ -466,6 +482,7 @@ impl Deserialize for Scenario {
             device_jobs: opt_field(m, "device_jobs")?.unwrap_or_else(default_device_jobs),
             seed: opt_field(m, "seed")?.unwrap_or_else(default_seed),
             policy: opt_field(m, "policy")?.unwrap_or_default(),
+            interp: opt_field(m, "interp")?.unwrap_or_default(),
             cores_per_node: opt_field(m, "cores_per_node")?.unwrap_or_else(default_cores),
             leaf_slots: opt_field(m, "leaf_slots")?,
             job_overhead: opt_field(m, "job_overhead")?.unwrap_or_else(default_job_overhead),
@@ -501,6 +518,7 @@ impl Scenario {
             device_jobs: default_device_jobs(),
             seed: default_seed(),
             policy: Policy::default(),
+            interp: InterpEngine::default(),
             cores_per_node: default_cores(),
             leaf_slots: None,
             job_overhead: default_job_overhead(),
@@ -550,6 +568,11 @@ impl Scenario {
 
     pub fn with_policy(mut self, policy: Policy) -> Scenario {
         self.policy = policy;
+        self
+    }
+
+    pub fn with_interp(mut self, interp: InterpEngine) -> Scenario {
+        self.interp = interp;
         self
     }
 
@@ -938,6 +961,11 @@ fn capture_of<A: ClusterApp, L: LeafRuntime<A>>(
 /// outcomes (and identical captures), which is what makes the embedded
 /// provenance block of a report re-runnable byte-for-byte at any `--jobs`.
 pub fn run_scenario(sc: &Scenario) -> ScenarioRun {
+    let _prof = prof::scope("scenario::run");
+    // Both engines are bit-identical (CI proves it), so setting the
+    // process-wide default per run cannot change any outcome — it only
+    // selects which interpreter the wall time goes to.
+    cashmere_mcl::set_default_engine(sc.interp);
     let observe = sc.observe();
     let cfg = sc.sim_config();
     let rt_cfg = sc.runtime_config();

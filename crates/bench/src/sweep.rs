@@ -13,6 +13,7 @@
 //! `--jobs 4` therefore produces byte-identical stdout and files to
 //! `--jobs 1` (covered by `tests/sweep_determinism.rs`).
 
+use cashmere_des::obs::prof;
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -68,11 +69,14 @@ where
 {
     let n = points.len();
     if jobs <= 1 || n <= 1 {
+        // Sequential points profile straight into the calling thread's
+        // collector, visiting points in declared order by definition.
         return points.into_iter().map(f).collect();
     }
+    let profiling = prof::enabled();
     let queue = Mutex::new(points.into_iter().enumerate());
-    let (tx, rx) = mpsc::channel::<(usize, O)>();
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, O, Option<prof::ProfTree>)>();
+    let mut slots: Vec<Option<(O, Option<prof::ProfTree>)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(n) {
             let tx = tx.clone();
@@ -83,20 +87,31 @@ where
                 // lock-free.
                 let next = queue.lock().unwrap().next();
                 let Some((idx, point)) = next else { break };
-                if tx.send((idx, f(point))).is_err() {
+                let out = f(point);
+                // Drain this worker's context tree per point, so trees can
+                // be merged in declared point order below — which worker
+                // ran the point when never shows in the aggregate.
+                let tree = profiling.then(prof::take_local);
+                if tx.send((idx, out, tree)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
         // Reassemble in declared order while workers are still running.
-        for (idx, out) in rx {
-            slots[idx] = Some(out);
+        for (idx, out, tree) in rx {
+            slots[idx] = Some((out, tree));
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every sweep point produces a result"))
+        .map(|s| {
+            let (out, tree) = s.expect("every sweep point produces a result");
+            if let Some(tree) = tree {
+                prof::absorb(tree);
+            }
+            out
+        })
         .collect()
 }
 

@@ -13,6 +13,7 @@
 //! and argument shape, so the cost of sampled interpretation is paid once
 //! per shape instead of once per job.
 
+use cashmere_des::obs::prof;
 use cashmere_hwdesc::{Hierarchy, LevelId};
 use cashmere_mcl::interp::Sampling;
 use cashmere_mcl::launch::{LaunchConfig, LaunchKey, LaunchMemo};
@@ -62,6 +63,7 @@ impl KernelRegistry {
     /// from the source; its level from the leading keyword. Registering two
     /// versions of the same kernel at the same level is an error.
     pub fn register(&mut self, src: &str) -> Result<(String, LevelId), CheckError> {
+        let _prof = prof::scope("mcl::compile");
         let ck = compile(src, &self.hierarchy)?;
         let name = ck.kernel.name.clone();
         let level = ck.level;
@@ -128,6 +130,7 @@ impl KernelRegistry {
 
     /// Look up memoized statistics, counting the hit or miss.
     pub fn cached_stats(&mut self, key: &StatsKey) -> Option<KernelStats> {
+        let _prof = prof::scope("mcl::memo");
         self.memo.lookup(key)
     }
 

@@ -26,7 +26,7 @@
 use crate::balancer::{Balancer, DeviceEstimate, Policy};
 use crate::registry::{arg_shape, KernelRegistry, StatsKey};
 use cashmere_des::fault::FaultInjector;
-use cashmere_des::obs::MetricsRegistry;
+use cashmere_des::obs::{prof, MetricsRegistry};
 use cashmere_des::trace::{LaneId, SpanId, SpanKind, Trace};
 use cashmere_des::SimTime;
 use cashmere_devsim::{ExecMode, SimDevice};
@@ -508,6 +508,7 @@ impl CashmereLeafRuntime {
         faults: &mut FaultInjector,
         report: &mut RunReport,
     ) -> Result<(SimTime, A::Output, bool), SimTime> {
+        let _prof = prof::scope("cashmere::place");
         let nd = &mut self.nodes[node];
         // Device memory for inputs and outputs. "Cashmere automatically
         // manages the available memory on a device": under memory pressure

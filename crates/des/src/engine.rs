@@ -30,7 +30,7 @@
 //!   minimum eagerly drains it, which maintains the invariant that the heap
 //!   top is always live — so [`Sim::peek_time`] is a true `&self` read.
 
-use crate::obs::MetricsRegistry;
+use crate::obs::{prof, MetricsRegistry};
 use crate::time::SimTime;
 use crate::trace::Trace;
 
@@ -98,6 +98,10 @@ struct Slot<W> {
     call: Option<unsafe fn(*mut u8, &mut W, &mut Sim<W>)>,
     /// Valid whenever `call` is `Some`; drops the payload without running it.
     drop_fn: unsafe fn(*mut u8),
+    /// Event kind for the host self-profiler's dispatch bucketing (see
+    /// [`crate::obs::prof`]); assigned at schedule time, `'static` so the
+    /// hot path stores a pointer, never a string.
+    kind: &'static str,
     data: EventData,
 }
 
@@ -223,6 +227,18 @@ impl<W> Sim<W> {
     where
         F: FnOnce(&mut W, &mut Sim<W>) + 'static,
     {
+        self.schedule_at_as("event::other", at, f)
+    }
+
+    /// [`Sim::schedule_at`] with an event kind for the self-profiler's
+    /// dispatch bucketing. `kind` names the frame the event's execution is
+    /// charged to (e.g. `"event::steal"`); unnamed schedules all land in
+    /// `"event::other"`.
+    pub fn schedule_at_as<F>(&mut self, kind: &'static str, at: SimTime, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        let _prof = prof::scope("des::schedule");
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={} at={}",
@@ -239,12 +255,15 @@ impl<W> Sim<W> {
                     seq,
                     call: None,
                     drop_fn: drop_payload::<()>,
+                    kind,
                     data: EventData::EMPTY,
                 });
                 (self.slots.len() - 1) as u32
             }
         };
-        self.slots[slot as usize].store(seq, f);
+        let s = &mut self.slots[slot as usize];
+        s.kind = kind;
+        s.store(seq, f);
         self.heap_push(HeapEntry {
             time: at.as_nanos(),
             seq,
@@ -261,6 +280,14 @@ impl<W> Sim<W> {
         self.schedule_at(self.now + delay, f)
     }
 
+    /// [`Sim::schedule_in`] with an event kind (see [`Sim::schedule_at_as`]).
+    pub fn schedule_in_as<F>(&mut self, kind: &'static str, delay: SimTime, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        self.schedule_at_as(kind, self.now + delay, f)
+    }
+
     /// Schedule `f` to run at the current time, after all events already
     /// scheduled for the current time.
     pub fn schedule_now<F>(&mut self, f: F) -> EventHandle
@@ -270,10 +297,19 @@ impl<W> Sim<W> {
         self.schedule_at(self.now, f)
     }
 
+    /// [`Sim::schedule_now`] with an event kind (see [`Sim::schedule_at_as`]).
+    pub fn schedule_now_as<F>(&mut self, kind: &'static str, f: F) -> EventHandle
+    where
+        F: FnOnce(&mut W, &mut Sim<W>) + 'static,
+    {
+        self.schedule_at_as(kind, self.now, f)
+    }
+
     /// Cancel a pending event. Returns `true` if the event had not fired and
     /// had not already been cancelled; stale handles (fired, cancelled, or
     /// from a slot since reused) return `false` and change nothing.
     pub fn cancel(&mut self, h: EventHandle) -> bool {
+        let _prof = prof::scope("des::cancel");
         let Some(slot) = self.slots.get_mut(h.slot as usize) else {
             return false;
         };
@@ -304,6 +340,7 @@ impl<W> Sim<W> {
     /// Execute the single next event, if any. Returns `false` when the queue
     /// is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
+        let heap_scope = prof::scope("des::heap");
         let Some(e) = self.heap_pop() else {
             return false;
         };
@@ -313,15 +350,21 @@ impl<W> Sim<W> {
         // freely schedule into (and reuse) it.
         let slot = &mut self.slots[e.slot as usize];
         let call = slot.call.take().expect("heap top was a tombstone");
+        let kind = slot.kind;
         let mut data = slot.data;
         self.free.push(e.slot);
         if self.cancelled > 0 {
             self.drain_cancelled_top();
         }
+        drop(heap_scope);
         let time = SimTime::from_nanos(e.time);
         debug_assert!(time >= self.now, "event queue went backwards");
         self.now = time;
         self.events_fired += 1;
+        // Dispatch bucketed by event kind: the callback's wall time (and
+        // everything it calls — kernel interpretation, balancer decisions,
+        // follow-up schedules) lands under the kind's frame.
+        let _prof = prof::scope(kind);
         unsafe { call(data.as_mut_ptr(), world, self) };
         true
     }

@@ -27,6 +27,11 @@
 //! - [`diff`]: the regression explainer — compares two run fingerprints
 //!   (makespan, critical path, counters, probe series) and emits a ranked
 //!   "what changed" attribution digest.
+//! - [`prof`]: the host self-profiler — RAII scoped timers aggregating
+//!   into a calling-context tree of *host* wall time (never simulated
+//!   time), exported as collapsed stacks for flamegraphs, JSON, and a
+//!   top-N digest. The one `obs` module that observes the simulator
+//!   itself instead of the simulated cluster.
 
 pub mod advisor;
 pub mod chrome;
@@ -34,6 +39,7 @@ pub mod critical;
 pub mod diff;
 pub mod metrics;
 pub mod probe;
+pub mod prof;
 pub mod timeline;
 
 pub use advisor::{
@@ -45,4 +51,5 @@ pub use critical::{CriticalPath, CriticalSegment};
 pub use diff::{DiffFactor, NodeDivergence, PhaseWindow, RunDiff, RunFingerprint};
 pub use metrics::{LatencyHistogram, MetricsRegistry};
 pub use probe::{ProbeColumn, ProbeSeries};
+pub use prof::{ProfNode, ProfTree};
 pub use timeline::{LaneUsage, UtilizationTimelines};

@@ -3,6 +3,7 @@
 
 use crate::memory::DeviceMemory;
 use crate::timeline::Timeline;
+use cashmere_des::obs::prof;
 use cashmere_des::SimTime;
 use cashmere_hwdesc::params::ResolvedParams;
 use cashmere_hwdesc::{Hierarchy, LevelId};
@@ -178,6 +179,7 @@ impl SimDevice {
         args: Vec<ArgValue>,
         mode: ExecMode,
     ) -> Result<KernelRun, ExecError> {
+        let _prof = prof::scope("mcl::execute");
         let cfg = LaunchConfig::for_device(ck, h, self.level);
         let opts: ExecOptions = match mode {
             ExecMode::Full => cfg.exec_full(),

@@ -2025,6 +2025,24 @@ impl InterpEngine {
     }
 }
 
+// Hand-written so the JSON form is the stable CLI token (`tree`, `vm`),
+// shared by `--interp` and the scenario spec's `interp` field.
+impl serde::Serialize for InterpEngine {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for InterpEngine {
+    fn from_content(content: &serde::Content) -> Result<InterpEngine, serde::DeError> {
+        match content.as_str() {
+            Some(s) => InterpEngine::parse(s)
+                .ok_or_else(|| serde::DeError::unknown_variant(s, "InterpEngine")),
+            None => Err(serde::DeError::expected("string", "InterpEngine", content)),
+        }
+    }
+}
+
 static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(1);
 
 /// Set the process-wide default engine (e.g. from an `--interp` flag). Set

@@ -7,6 +7,7 @@
 //! free, and occupies each for the transfer's serialization time.
 
 use crate::NetConfig;
+use cashmere_des::obs::prof;
 use cashmere_des::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +53,7 @@ pub fn schedule_transfer(
     src_busy_fraction: f64,
     dst_busy_fraction: f64,
 ) -> Transfer {
+    let _prof = prof::scope("net::transfer");
     let ser = SimTime::from_secs_f64(bytes as f64 / (net.bandwidth_gbs * 1e9));
     let send_handling = net.handling_time(src_busy_fraction);
     let recv_handling = net.handling_time(dst_busy_fraction);

@@ -15,7 +15,7 @@
 use crate::sim::app::{ClusterApp, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 use crate::sim::report::RunReport;
 use cashmere_des::fault::{FaultInjector, FaultPlan, MessageFate};
-use cashmere_des::obs::ProbeSeries;
+use cashmere_des::obs::{prof, ProbeSeries};
 use cashmere_des::rng::StreamRng;
 use cashmere_des::trace::{LaneId, SpanId, SpanKind};
 use cashmere_des::{Sim, SimTime};
@@ -247,6 +247,7 @@ pub struct ClusterSim<A: ClusterApp, L: LeafRuntime<A>> {
 
 impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
     pub fn new(app: A, leaf: L, cfg: SimConfig) -> Self {
+        let _prof = prof::scope("cluster::build");
         assert!(cfg.nodes >= 1, "need at least one node");
         assert!(cfg.cores_per_node >= 1);
         if let Err(e) = cfg.faults.validate(cfg.nodes) {
@@ -375,10 +376,13 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
                 self.sim.now()
             ));
         }
-        self.sim
-            .schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+        self.sim.schedule_at_as(
+            "event::crash",
+            at,
+            move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                 crash(w, sim, node);
-            });
+            },
+        );
         Ok(())
     }
 
@@ -403,16 +407,20 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
                 self.sim.now()
             ));
         }
-        self.sim
-            .schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+        self.sim.schedule_at_as(
+            "event::join",
+            at,
+            move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                 join(w, sim, node);
-            });
+            },
+        );
         Ok(())
     }
 
     /// Run one root job to completion and return its output. Virtual time
     /// continues from where the previous call left off.
     pub fn run_root(&mut self, input: A::Input) -> A::Output {
+        let _prof = prof::scope("satin::run-root");
         self.world.done = false;
         self.world.root_result = None;
         // Orphan results and recovery episodes never span root runs (both
@@ -482,7 +490,8 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
         }
         // Advance virtual time to the end of the broadcast.
         if last > self.sim.now() {
-            self.sim.schedule_at(last, |_w, _s| {});
+            self.sim
+                .schedule_at_as("event::broadcast", last, |_w, _s| {});
             self.sim.run(&mut self.world);
         }
     }
@@ -507,17 +516,21 @@ fn schedule_probe<A: ClusterApp, L: LeafRuntime<A>>(
     sim: &mut S<A, L>,
     at: SimTime,
 ) {
-    let h = sim.schedule_at(at, |w: &mut World<A, L>, sim: &mut S<A, L>| {
-        w.probe_event = None;
-        if w.done {
-            return;
-        }
-        sample_probe(w, sim.now());
-        if let Some(iv) = w.cfg.probe_interval {
-            let at = sim.now() + iv;
-            schedule_probe(w, sim, at);
-        }
-    });
+    let h = sim.schedule_at_as(
+        "event::probe",
+        at,
+        |w: &mut World<A, L>, sim: &mut S<A, L>| {
+            w.probe_event = None;
+            if w.done {
+                return;
+            }
+            sample_probe(w, sim.now());
+            if let Some(iv) = w.cfg.probe_interval {
+                let at = sim.now() + iv;
+                schedule_probe(w, sim, at);
+            }
+        },
+    );
     w.probe_event = Some(h);
 }
 
@@ -573,7 +586,10 @@ fn schedule_tick<A: ClusterApp, L: LeafRuntime<A>>(
         return;
     }
     w.nodes[n].tick_scheduled = true;
-    sim.schedule_now(move |w: &mut World<A, L>, sim: &mut S<A, L>| tick(w, sim, n));
+    sim.schedule_now_as(
+        "event::tick",
+        move |w: &mut World<A, L>, sim: &mut S<A, L>| tick(w, sim, n),
+    );
 }
 
 /// Node scheduler: start tasks while cores are free; steal when idle.
@@ -718,7 +734,8 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
             let generation = w.jobs[j].generation;
             if holder == n {
                 // Local table hit: a lookup costs one job overhead.
-                sim.schedule_in(
+                sim.schedule_in_as(
+                    "event::deliver",
                     w.cfg.job_overhead,
                     move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                         if !w.nodes[n].alive {
@@ -754,12 +771,16 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
                     );
                 }
                 sim.metrics.observe("net.transfer", tr.duration());
-                sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                    if !w.nodes[n].alive {
-                        return;
-                    }
-                    deliver(w, sim, n, j, output, generation);
-                });
+                sim.schedule_at_as(
+                    "event::deliver",
+                    tr.arrival,
+                    move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        if !w.nodes[n].alive {
+                            return;
+                        }
+                        deliver(w, sim, n, j, output, generation);
+                    },
+                );
             }
             return;
         }
@@ -778,9 +799,13 @@ fn start_job<A: ClusterApp, L: LeafRuntime<A>>(
     let generation = w.jobs[j].generation;
     let inc = w.nodes[n].incarnation;
     let overhead = w.cfg.job_overhead;
-    sim.schedule_in(overhead, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-        process_job(w, sim, n, j, generation, inc, is_leaf);
-    });
+    sim.schedule_in_as(
+        "event::process-job",
+        overhead,
+        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+            process_job(w, sim, n, j, generation, inc, is_leaf);
+        },
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -822,16 +847,20 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                     w.jobs[j].origin_span,
                 );
             }
-            sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
-                    return;
-                }
-                if w.jobs[j].generation != generation {
-                    release_core(w, sim, n);
-                    return;
-                }
-                finish_divide(w, sim, n, j, children);
-            });
+            sim.schedule_in_as(
+                "event::finish-divide",
+                cost,
+                move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
+                        return;
+                    }
+                    if w.jobs[j].generation != generation {
+                        release_core(w, sim, n);
+                        return;
+                    }
+                    finish_divide(w, sim, n, j, children);
+                },
+            );
         }
         DcStep::Leaf => {
             debug_assert!(is_leaf, "is_leaf must agree with step()");
@@ -885,14 +914,18 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                 LeafPlan::Cpu { compute, output } => {
                     sim.trace.set_end(leaf_span, sim.now() + compute);
                     w.report.node_busy[n] += compute;
-                    sim.schedule_in(compute, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
-                            return;
-                        }
-                        w.nodes[n].running_leaves -= 1;
-                        release_core(w, sim, n);
-                        deliver(w, sim, n, j, output, generation);
-                    });
+                    sim.schedule_in_as(
+                        "event::leaf-done",
+                        compute,
+                        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                            if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
+                                return;
+                            }
+                            w.nodes[n].running_leaves -= 1;
+                            release_core(w, sim, n);
+                            deliver(w, sim, n, j, output, generation);
+                        },
+                    );
                 }
                 LeafPlan::Async {
                     submit,
@@ -901,21 +934,29 @@ fn process_job<A: ClusterApp, L: LeafRuntime<A>>(
                 } => {
                     sim.trace.set_end(leaf_span, done.max(sim.now()));
                     w.report.node_busy[n] += done.saturating_sub(sim.now());
-                    sim.schedule_in(submit, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
-                            return;
-                        }
-                        release_core(w, sim, n);
-                    });
+                    sim.schedule_in_as(
+                        "event::leaf-submit",
+                        submit,
+                        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                            if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
+                                return;
+                            }
+                            release_core(w, sim, n);
+                        },
+                    );
                     let at = done.max(sim.now());
-                    sim.schedule_at(at, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
-                            return;
-                        }
-                        w.nodes[n].running_leaves -= 1;
-                        schedule_tick(w, sim, n);
-                        deliver(w, sim, n, j, output, generation);
-                    });
+                    sim.schedule_at_as(
+                        "event::leaf-done",
+                        at,
+                        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                            if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
+                                return;
+                            }
+                            w.nodes[n].running_leaves -= 1;
+                            schedule_tick(w, sim, n);
+                            deliver(w, sim, n, j, output, generation);
+                        },
+                    );
                 }
             }
         }
@@ -1085,7 +1126,8 @@ fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
             // The sender notices the missing acknowledgement and resends.
             let backoff =
                 (w.cfg.steal_retry * (1u64 << attempt.min(20))).min(w.cfg.steal_retry_max);
-            sim.schedule_at(
+            sim.schedule_at_as(
+                "event::send-result",
                 tr.arrival + backoff,
                 move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                     send_result(w, sim, n, home, p, idx, output, pgen, attempt + 1);
@@ -1096,7 +1138,8 @@ fn send_result<A: ClusterApp, L: LeafRuntime<A>>(
             if delay > SimTime::ZERO {
                 w.report.latency_spikes += 1;
             }
-            sim.schedule_at(
+            sim.schedule_at_as(
+                "event::receive-child",
                 tr.arrival + delay,
                 move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                     if !w.nodes[home].alive {
@@ -1164,24 +1207,28 @@ fn start_combine<A: ClusterApp, L: LeafRuntime<A>>(
             w.jobs[p].divide_span,
         );
     }
-    sim.schedule_in(cost, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-        if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
-            return;
-        }
-        if w.jobs[p].generation != generation {
+    sim.schedule_in_as(
+        "event::combine",
+        cost,
+        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+            if !w.nodes[n].alive || w.nodes[n].incarnation != inc {
+                return;
+            }
+            if w.jobs[p].generation != generation {
+                release_core(w, sim, n);
+                return;
+            }
+            let outputs: Vec<A::Output> = w.jobs[p]
+                .child_outputs
+                .iter_mut()
+                .map(|o| o.take().expect("all children delivered"))
+                .collect();
+            let input = w.jobs[p].input.clone().expect("combining job has input");
+            let output = w.app.combine(&input, outputs);
             release_core(w, sim, n);
-            return;
-        }
-        let outputs: Vec<A::Output> = w.jobs[p]
-            .child_outputs
-            .iter_mut()
-            .map(|o| o.take().expect("all children delivered"))
-            .collect();
-        let input = w.jobs[p].input.clone().expect("combining job has input");
-        let output = w.app.combine(&input, outputs);
-        release_core(w, sim, n);
-        deliver(w, sim, n, p, output, generation);
-    });
+            deliver(w, sim, n, p, output, generation);
+        },
+    );
 }
 
 /// Current retry delay for a thief: base rate for the first three
@@ -1229,12 +1276,16 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
         w.report.no_victim_polls += 1;
         w.nodes[thief].steal_failures = w.nodes[thief].steal_failures.saturating_add(1);
         let retry = steal_backoff(w, thief);
-        let h = sim.schedule_in(retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-            w.nodes[thief].retry_event = None;
-            if !w.done && w.nodes[thief].alive {
-                schedule_tick(w, sim, thief);
-            }
-        });
+        let h = sim.schedule_in_as(
+            "event::steal-retry",
+            retry,
+            move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                w.nodes[thief].retry_event = None;
+                if !w.done && w.nodes[thief].alive {
+                    schedule_tick(w, sim, thief);
+                }
+            },
+        );
         w.nodes[thief].retry_event = Some(h);
         return;
     };
@@ -1257,9 +1308,13 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
                 w.report.latency_spikes += 1;
                 req_time += delay;
             }
-            sim.schedule_in(req_time, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                handle_steal_request(w, sim, victim, thief);
-            });
+            sim.schedule_in_as(
+                "event::steal",
+                req_time,
+                move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                    handle_steal_request(w, sim, victim, thief);
+                },
+            );
         }
     }
     // With faults in play, a request or refusal may never arrive. Arm a
@@ -1267,7 +1322,8 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
     // runs skip this entirely, so they schedule exactly the same events as
     // a build without fault support.
     if w.faults.is_active() {
-        let h = sim.schedule_in(
+        let h = sim.schedule_in_as(
+            "event::steal-timeout",
             w.cfg.steal_timeout,
             move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                 w.nodes[thief].steal_timeout_event = None;
@@ -1282,12 +1338,16 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
                 w.report.steal_timeouts += 1;
                 w.nodes[thief].steal_failures = w.nodes[thief].steal_failures.saturating_add(1);
                 let retry = steal_backoff(w, thief);
-                let h = sim.schedule_in(retry, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                    w.nodes[thief].retry_event = None;
-                    if !w.done && w.nodes[thief].alive {
-                        schedule_tick(w, sim, thief);
-                    }
-                });
+                let h = sim.schedule_in_as(
+                    "event::steal-retry",
+                    retry,
+                    move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                        w.nodes[thief].retry_event = None;
+                        if !w.done && w.nodes[thief].alive {
+                            schedule_tick(w, sim, thief);
+                        }
+                    },
+                );
                 w.nodes[thief].retry_event = Some(h);
             },
         );
@@ -1368,66 +1428,74 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
                     // transfer window elapses unacknowledged, the victim
                     // re-queues the job on a live node.
                     w.report.messages_lost += 1;
-                    sim.schedule_at(tr.arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
-                            resolve_steal(w, sim, thief);
-                            w.nodes[thief].steal_failures =
-                                w.nodes[thief].steal_failures.saturating_add(1);
-                            if w.nodes[thief].alive && !w.done {
-                                schedule_tick(w, sim, thief);
+                    sim.schedule_at_as(
+                        "event::steal-transfer",
+                        tr.arrival,
+                        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                            if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
+                                resolve_steal(w, sim, thief);
+                                w.nodes[thief].steal_failures =
+                                    w.nodes[thief].steal_failures.saturating_add(1);
+                                if w.nodes[thief].alive && !w.done {
+                                    schedule_tick(w, sim, thief);
+                                }
                             }
-                        }
-                        if w.done || w.jobs[j].generation != generation {
-                            return;
-                        }
-                        let home = w.jobs[j].home_node;
-                        let target = if w.nodes[victim].alive {
-                            victim
-                        } else if w.nodes[home].alive {
-                            home
-                        } else {
-                            0
-                        };
-                        w.jobs[j].exec_node = target;
-                        w.nodes[target].deque.push_back(Task::Job(j));
-                        schedule_tick(w, sim, target);
-                    });
+                            if w.done || w.jobs[j].generation != generation {
+                                return;
+                            }
+                            let home = w.jobs[j].home_node;
+                            let target = if w.nodes[victim].alive {
+                                victim
+                            } else if w.nodes[home].alive {
+                                home
+                            } else {
+                                0
+                            };
+                            w.jobs[j].exec_node = target;
+                            w.nodes[target].deque.push_back(Task::Job(j));
+                            schedule_tick(w, sim, target);
+                        },
+                    );
                 }
                 MessageFate::Delivered { delay } => {
                     if delay > SimTime::ZERO {
                         w.report.latency_spikes += 1;
                     }
                     let arrival = tr.arrival + delay;
-                    sim.schedule_at(arrival, move |w: &mut World<A, L>, sim: &mut S<A, L>| {
-                        if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
-                            let rtt = sim.now() - w.nodes[thief].steal_started;
-                            sim.metrics.observe("steal.rtt", rtt);
-                            resolve_steal(w, sim, thief);
-                            w.nodes[thief].steal_failures = 0;
-                        }
-                        if w.jobs[j].generation != generation {
-                            return;
-                        }
-                        if !w.nodes[thief].alive || w.nodes[thief].incarnation != thief_inc {
-                            // The thief died while the job was in flight
-                            // (and perhaps already rebooted — the transfer's
-                            // connection died with the old incarnation). The
-                            // job left the victim's deque, so nobody else
-                            // knows about it — bounce it back to a live node
-                            // or it is lost and the run never terminates.
-                            let home = w.jobs[j].home_node;
-                            let target = if w.nodes[home].alive { home } else { 0 };
-                            w.jobs[j].exec_node = target;
-                            w.nodes[target].deque.push_back(Task::Job(j));
-                            w.jobs[j].replay = true;
-                            w.report.jobs_restarted += 1;
-                            schedule_tick(w, sim, target);
-                            return;
-                        }
-                        w.jobs[j].exec_node = thief;
-                        w.nodes[thief].deque.push_back(Task::Job(j));
-                        schedule_tick(w, sim, thief);
-                    });
+                    sim.schedule_at_as(
+                        "event::steal-transfer",
+                        arrival,
+                        move |w: &mut World<A, L>, sim: &mut S<A, L>| {
+                            if w.nodes[thief].steal_seq == token && w.nodes[thief].stealing {
+                                let rtt = sim.now() - w.nodes[thief].steal_started;
+                                sim.metrics.observe("steal.rtt", rtt);
+                                resolve_steal(w, sim, thief);
+                                w.nodes[thief].steal_failures = 0;
+                            }
+                            if w.jobs[j].generation != generation {
+                                return;
+                            }
+                            if !w.nodes[thief].alive || w.nodes[thief].incarnation != thief_inc {
+                                // The thief died while the job was in flight
+                                // (and perhaps already rebooted — the transfer's
+                                // connection died with the old incarnation). The
+                                // job left the victim's deque, so nobody else
+                                // knows about it — bounce it back to a live node
+                                // or it is lost and the run never terminates.
+                                let home = w.jobs[j].home_node;
+                                let target = if w.nodes[home].alive { home } else { 0 };
+                                w.jobs[j].exec_node = target;
+                                w.nodes[target].deque.push_back(Task::Job(j));
+                                w.jobs[j].replay = true;
+                                w.report.jobs_restarted += 1;
+                                schedule_tick(w, sim, target);
+                                return;
+                            }
+                            w.jobs[j].exec_node = thief;
+                            w.nodes[thief].deque.push_back(Task::Job(j));
+                            schedule_tick(w, sim, thief);
+                        },
+                    );
                 }
             }
         }
@@ -1470,7 +1538,8 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
                 w.nodes[thief].steal_failures = w.nodes[thief].steal_failures.saturating_add(1);
             }
             let retry = steal_backoff(w, thief);
-            let h = sim.schedule_in(
+            let h = sim.schedule_in_as(
+                "event::steal-retry",
                 reply + retry,
                 move |w: &mut World<A, L>, sim: &mut S<A, L>| {
                     w.nodes[thief].retry_event = None;

@@ -89,12 +89,15 @@ fn main() {
     }
 
     // Enumerate every run of the experiment up front, in declared order.
-    // The `--policy` override reaches every run; `--faults` and the
-    // observability flags only the measured heterogeneous ones.
+    // The `--policy`/`--steal` overrides reach every run; `--faults` and
+    // the observability flags only the measured heterogeneous ones.
     let mut jobs: Vec<(Job, Scenario)> = Vec::new();
     let policy_only = |mut sc: Scenario| {
         if let Some(p) = common.policy {
-            sc.policy = p;
+            sc.policy.placement = p;
+        }
+        if let Some(s) = common.steal {
+            sc.policy.steal = s;
         }
         sc
     };

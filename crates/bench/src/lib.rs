@@ -33,5 +33,5 @@ pub use obs::{
 pub use output::{write_json, write_report, Table};
 pub use runners::{kernel_gflops, AppId, RecoverySummary, RunOutcome, Series};
 pub use scenario::cli::{self, load_fault_plan, CommonArgs};
-pub use scenario::{run_scenario, Problem, Scenario, ScenarioReport, ScenarioRun};
+pub use scenario::{run_scenario, PolicySpec, Problem, Scenario, ScenarioReport, ScenarioRun};
 pub use sweep::{default_jobs, jobs_from_args, sweep, sweep_fns};

@@ -443,13 +443,13 @@ mod tests {
 
     #[test]
     fn audit_digest_counts_outcomes() {
-        use cashmere::balancer::Policy;
+        use cashmere::balancer::PolicyDesc;
         let e = |chosen: Option<usize>, reason: &str| AuditEntry {
             seq: 0,
             node: 0,
             kernel: "k".into(),
             submit_ns: 0,
-            policy: Policy::Scenario,
+            policy: PolicyDesc::default(),
             candidates: vec![],
             chosen,
             reason: reason.into(),

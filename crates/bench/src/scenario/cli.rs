@@ -9,7 +9,8 @@
 //!
 //! [`common_args`] splits the flags every bin accepts out of argv in one
 //! pass — `--faults plan.json`, `--trace out.json`, `--explain`,
-//! `--metrics-out m.txt`, `--jobs N`, `--policy P`, `--interp tree|vm`,
+//! `--metrics-out m.txt`, `--jobs N`, `--policy P`, `--steal S`,
+//! `--interp tree|vm`,
 //! `--self-profile stem`, `--scenario file.json`, `--dump-scenario` —
 //! returning the rest (argv[0] included) for bin-specific parsing.
 //! `--self-profile` enables the host self-profiler immediately (so setup
@@ -29,6 +30,7 @@ use crate::sweep::jobs_from_args;
 use cashmere::balancer::Policy;
 use cashmere_des::fault::FaultPlan;
 use cashmere_des::obs::prof;
+use cashmere_satin::StealKind;
 use std::path::PathBuf;
 
 /// Flags shared by all bench bins, split out of argv by [`common_args`].
@@ -40,8 +42,11 @@ pub struct CommonArgs {
     pub obs: ObsArgs,
     /// Fault plan (`--faults plan.json`; empty when absent).
     pub faults: FaultPlan,
-    /// Balancer policy override (`--policy scenario|round-robin|greedy`).
+    /// Placement-policy override (`--policy scenario|round-robin|…`).
     pub policy: Option<Policy>,
+    /// Steal-policy override
+    /// (`--steal uniform-random|recent-victim|round-robin-scan`).
+    pub steal: Option<StealKind>,
     /// Scenario file to run instead of the bin's presets (`--scenario`).
     pub scenario: Option<String>,
     /// Print resolved scenario(s) instead of running (`--dump-scenario`).
@@ -91,7 +96,15 @@ pub fn common_args() -> (CommonArgs, Vec<String>) {
                 let v = value("--policy");
                 common.policy = Some(Policy::parse(&v).unwrap_or_else(|| {
                     fail(&format!(
-                        "unknown policy `{v}` (scenario|round-robin|greedy)"
+                        "unknown policy `{v}` (scenario|round-robin|fastest-only|heft|dynamic-chunk|static-table)"
+                    ))
+                }));
+            }
+            "--steal" => {
+                let v = value("--steal");
+                common.steal = Some(StealKind::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown steal policy `{v}` (uniform-random|recent-victim|round-robin-scan)"
                     ))
                 }));
             }
@@ -148,7 +161,10 @@ pub fn finish(common: &CommonArgs, scenarios: &[Scenario]) {
 /// observability flag is set.
 pub fn apply_overrides(mut sc: Scenario, common: &CommonArgs) -> Scenario {
     if let Some(p) = common.policy {
-        sc.policy = p;
+        sc.policy.placement = p;
+    }
+    if let Some(s) = common.steal {
+        sc.policy.steal = s;
     }
     if let Some(e) = common.interp {
         sc.interp = e;
@@ -303,6 +319,7 @@ mod tests {
         );
         let common = CommonArgs {
             policy: Some(Policy::RoundRobin),
+            steal: Some(StealKind::RecentVictim),
             obs: ObsArgs {
                 explain: true,
                 ..ObsArgs::default()
@@ -310,7 +327,8 @@ mod tests {
             ..CommonArgs::default()
         };
         let out = apply_overrides(sc, &common);
-        assert_eq!(out.policy, Policy::RoundRobin);
+        assert_eq!(out.policy.placement, Policy::RoundRobin);
+        assert_eq!(out.policy.steal, StealKind::RecentVictim);
         assert!(out.outputs.capture);
         assert!(out.outputs.explain);
         assert!(out.faults.is_none(), "empty plan stays None");

@@ -44,7 +44,7 @@ use cashmere_des::SimTime;
 use cashmere_hwdesc::DeviceKind;
 use cashmere_mcl::InterpEngine;
 use cashmere_netsim::NetConfig;
-use cashmere_satin::{ClusterApp, ClusterSim, LeafRuntime, RunReport, SimConfig};
+use cashmere_satin::{ClusterApp, ClusterSim, LeafRuntime, RunReport, SimConfig, StealKind};
 use serde::{Content, DeError, Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -353,6 +353,81 @@ fn default_orphan_reuse() -> bool {
     true
 }
 
+/// The structured scheduling-policy spec: device placement (the Cashmere
+/// balancer) plus steal-victim selection (the Satin engine). Two JSON
+/// forms parse:
+///
+/// - the legacy bare string, e.g. `"scenario"` — placement only, steal at
+///   the default (aliases like `greedy` normalize on load);
+/// - the structured map, e.g.
+///   `{"placement": "heft", "steal": "recent-victim"}` — either field may
+///   be omitted and defaults.
+///
+/// The canonical form stays a fixed point for both: specs with the default
+/// steal policy serialize as the compact string (so every pre-arena
+/// artifact and catalog file remains canonical byte-for-byte), and specs
+/// with a non-default steal policy serialize as the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicySpec {
+    pub placement: Policy,
+    pub steal: StealKind,
+}
+
+impl PolicySpec {
+    pub fn new(placement: Policy, steal: StealKind) -> PolicySpec {
+        PolicySpec { placement, steal }
+    }
+
+    /// A spec with the given placement policy and the default steal policy.
+    pub fn placement(placement: Policy) -> PolicySpec {
+        PolicySpec {
+            placement,
+            steal: StealKind::default(),
+        }
+    }
+
+    /// Compact display label, `<placement>` or `<placement>+<steal>`.
+    pub fn label(&self) -> String {
+        if self.steal == StealKind::default() {
+            self.placement.name().to_string()
+        } else {
+            format!("{}+{}", self.placement.name(), self.steal.name())
+        }
+    }
+}
+
+const POLICY_SPEC_FIELDS: [&str; 2] = ["placement", "steal"];
+
+impl Serialize for PolicySpec {
+    fn to_content(&self) -> Content {
+        if self.steal == StealKind::default() {
+            self.placement.to_content()
+        } else {
+            Content::Map(vec![
+                (skey("placement"), self.placement.to_content()),
+                (skey("steal"), self.steal.to_content()),
+            ])
+        }
+    }
+}
+
+impl Deserialize for PolicySpec {
+    fn from_content(content: &Content) -> Result<PolicySpec, DeError> {
+        const TY: &str = "PolicySpec";
+        match content {
+            Content::Str(_) => Ok(PolicySpec::placement(Policy::from_content(content)?)),
+            Content::Map(m) => {
+                check_fields(m, &POLICY_SPEC_FIELDS, TY)?;
+                Ok(PolicySpec {
+                    placement: opt_field(m, "placement")?.unwrap_or_default(),
+                    steal: opt_field(m, "steal")?.unwrap_or_default(),
+                })
+            }
+            other => Err(DeError::expected("string or map", TY, other)),
+        }
+    }
+}
+
 /// One fully-described experiment. Serializable (canonical JSON via
 /// [`Scenario::to_canonical_json`]); `name`, `app`, `series` and `nodes`
 /// are required in JSON form, everything else defaults to the paper's
@@ -375,8 +450,10 @@ pub struct Scenario {
     /// Device jobs per node-level leaf (the paper runs 8).
     pub device_jobs: u64,
     pub seed: u64,
-    /// Device load-balancer policy (paper Sec. III-B default).
-    pub policy: Policy,
+    /// Scheduling policies: device placement (paper Sec. III-B default)
+    /// and steal-victim selection (uniform-random default). Accepts the
+    /// legacy bare-string form for placement-only specs.
+    pub policy: PolicySpec,
     /// Kernel interpreter engine (tree-walker or register VM). Both produce
     /// bit-identical results — this is recorded so provenance captures which
     /// engine executed the run, and overridable via `--interp` like
@@ -517,7 +594,7 @@ impl Scenario {
             grain: None,
             device_jobs: default_device_jobs(),
             seed: default_seed(),
-            policy: Policy::default(),
+            policy: PolicySpec::default(),
             interp: InterpEngine::default(),
             cores_per_node: default_cores(),
             leaf_slots: None,
@@ -566,8 +643,15 @@ impl Scenario {
         self
     }
 
+    /// Set the placement policy (the steal policy is untouched).
     pub fn with_policy(mut self, policy: Policy) -> Scenario {
-        self.policy = policy;
+        self.policy.placement = policy;
+        self
+    }
+
+    /// Set the steal-victim policy (the placement policy is untouched).
+    pub fn with_steal(mut self, steal: StealKind) -> Scenario {
+        self.policy.steal = steal;
         self
     }
 
@@ -597,6 +681,12 @@ impl Scenario {
         } else {
             Some(faults)
         };
+        self
+    }
+
+    /// Drop any declared fault plan (the tournament's fault-free arm).
+    pub fn with_faults_cleared(mut self) -> Scenario {
+        self.faults = None;
         self
     }
 
@@ -836,6 +926,7 @@ impl Scenario {
             orphan_reuse: self.orphan_reuse,
             trace: self.observe(),
             probe_interval: self.outputs.probe_interval,
+            steal: self.policy.steal,
             ..SimConfig::default()
         };
         // Fault plans that do not validate for this cluster size (e.g.
@@ -864,7 +955,7 @@ impl Scenario {
     /// The Cashmere runtime configuration this scenario resolves to.
     pub fn runtime_config(&self) -> RuntimeConfig {
         RuntimeConfig {
-            balancer_policy: self.policy,
+            balancer_policy: self.policy.placement,
             overlap: self.overlap,
             ..RuntimeConfig::default()
         }
@@ -1291,9 +1382,62 @@ mod tests {
         assert_eq!(sc.seed, 42);
         assert_eq!(sc.device_jobs, 8);
         assert_eq!(sc.problem, Problem::Paper);
-        assert_eq!(sc.policy, Policy::Scenario);
+        assert_eq!(sc.policy, PolicySpec::default());
         assert!(sc.overlap);
         assert!(sc.validate().is_ok());
+    }
+
+    #[test]
+    fn policy_spec_parses_both_forms_and_normalizes_aliases() {
+        // Legacy bare string, alias spelling: `greedy` normalizes to
+        // `fastest-only` on load, so the canonical form is a fixed point.
+        let sc = Scenario::from_json(
+            r#"{"name":"t","app":"kmeans","series":"cashmere-opt","nodes":[["gtx480"]],"policy":"greedy"}"#,
+        )
+        .unwrap();
+        assert_eq!(sc.policy.placement, Policy::FastestOnly);
+        assert_eq!(sc.policy.steal, StealKind::UniformRandom);
+        let canonical = sc.to_canonical_json();
+        assert!(canonical.contains("\"fastest-only\""), "{canonical}");
+        assert!(!canonical.contains("greedy"), "{canonical}");
+        let back = Scenario::from_json(&canonical).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(back.to_canonical_json(), canonical);
+
+        // Structured map form; omitted fields default.
+        let sc = Scenario::from_json(
+            r#"{"name":"t","app":"kmeans","series":"cashmere-opt","nodes":[["gtx480"]],"policy":{"placement":"heft","steal":"recent-victim"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            sc.policy,
+            PolicySpec::new(Policy::Heft, StealKind::RecentVictim)
+        );
+        assert_eq!(sc.policy.label(), "heft+recent-victim");
+        let canonical = sc.to_canonical_json();
+        let back = Scenario::from_json(&canonical).unwrap();
+        assert_eq!(back.policy, sc.policy);
+        assert_eq!(back.to_canonical_json(), canonical);
+
+        // A default-steal spec collapses to the compact string form, so
+        // every pre-arena artifact stays canonical byte-for-byte.
+        let sc = Scenario::from_json(
+            r#"{"name":"t","app":"kmeans","series":"cashmere-opt","nodes":[["gtx480"]],"policy":{"placement":"round-robin"}}"#,
+        )
+        .unwrap();
+        assert!(sc
+            .to_canonical_json()
+            .contains("\"policy\": \"round-robin\""));
+
+        // Unknown placement names and unknown map fields fail loudly.
+        assert!(Scenario::from_json(
+            r#"{"name":"t","app":"kmeans","series":"cashmere-opt","nodes":[["gtx480"]],"policy":"bogus"}"#,
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"name":"t","app":"kmeans","series":"cashmere-opt","nodes":[["gtx480"]],"policy":{"stealing":"scan"}}"#,
+        )
+        .is_err());
     }
 
     #[test]

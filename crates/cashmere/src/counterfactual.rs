@@ -65,7 +65,13 @@ pub fn replay_audit(
     let mut replayed = 0usize;
     let mut flips = Vec::new();
     for e in audit {
-        let (Policy::Scenario, Some(chosen)) = (e.policy, e.chosen) else {
+        // Only scenario-policy decisions depend on the speed table; match
+        // on the recorded descriptor name so legacy string-form entries
+        // (normalized on load) replay too.
+        if e.policy.name != Policy::Scenario.name() {
+            continue;
+        }
+        let Some(chosen) = e.chosen else {
             continue;
         };
         if e.candidates.is_empty() {
@@ -120,7 +126,7 @@ pub fn replay_audit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::balancer::DeviceEstimate;
+    use crate::balancer::{DeviceEstimate, PolicyDesc};
 
     fn entry(seq: u64, candidates: Vec<DeviceEstimate>, chosen: Option<usize>) -> AuditEntry {
         AuditEntry {
@@ -128,7 +134,7 @@ mod tests {
             node: 0,
             kernel: "k".into(),
             submit_ns: 0,
-            policy: Policy::Scenario,
+            policy: PolicyDesc::default(),
             candidates,
             chosen,
             reason: "placed".into(),

@@ -23,7 +23,7 @@
 //! 5. falls back to the CPU leaf when no kernel version applies or device
 //!    memory is exhausted (the paper's try/catch → `leafCPU` pattern).
 
-use crate::balancer::{Balancer, DeviceEstimate, Policy};
+use crate::balancer::{Balancer, DeviceEstimate, PolicyDesc};
 use crate::registry::{arg_shape, KernelRegistry, StatsKey};
 use cashmere_des::fault::FaultInjector;
 use cashmere_des::obs::{prof, MetricsRegistry};
@@ -123,7 +123,7 @@ impl Default for RuntimeConfig {
 /// actually went. Terminal outcomes only — a transient launch fault or a
 /// mid-flight device death re-enters the decision loop and produces a fresh
 /// entry instead.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct AuditEntry {
     /// Decision sequence number (audit-log index).
     pub seq: u64,
@@ -131,7 +131,9 @@ pub struct AuditEntry {
     pub kernel: String,
     /// Virtual submission time of the device job, in ns.
     pub submit_ns: u64,
-    pub policy: Policy,
+    /// Name + parameters of the policy instance that made this decision
+    /// (tournament artifacts are self-describing).
+    pub policy: PolicyDesc,
     /// Per-device estimates and scenario makespans at decision time.
     pub candidates: Vec<DeviceEstimate>,
     /// Device the job ran on; `None` when it degraded to the CPU leaf.
@@ -139,6 +141,59 @@ pub struct AuditEntry {
     /// `"placed"`, or why the job fell back to the CPU
     /// (`"no-usable-device"`, `"launch-fault-budget"`, `"memory-exhausted"`).
     pub reason: String,
+}
+
+// Hand-written so old audit artifacts — which either stored the policy as
+// a bare name string or (older still) omitted the field — keep loading:
+// a missing `policy` backfills the default scenario descriptor.
+impl Deserialize for AuditEntry {
+    fn from_content(content: &serde::Content) -> Result<AuditEntry, serde::DeError> {
+        let Some(m) = content.as_map() else {
+            return Err(serde::DeError::expected("map", "AuditEntry", content));
+        };
+        let known = [
+            "seq",
+            "node",
+            "kernel",
+            "submit_ns",
+            "policy",
+            "candidates",
+            "chosen",
+            "reason",
+        ];
+        for (k, _) in m {
+            match k.as_str() {
+                Some(k) if known.contains(&k) => {}
+                Some(k) => {
+                    return Err(serde::DeError::custom(format!(
+                        "unknown AuditEntry field `{k}`"
+                    )))
+                }
+                None => return Err(serde::DeError::expected("string key", "AuditEntry", k)),
+            }
+        }
+        let field = |name: &str| {
+            m.iter()
+                .find(|(k, _)| k.as_str() == Some(name))
+                .map(|(_, v)| v)
+        };
+        let req = |name: &'static str| {
+            field(name).ok_or_else(|| serde::DeError::missing_field(name, "AuditEntry"))
+        };
+        Ok(AuditEntry {
+            seq: u64::from_content(req("seq")?)?,
+            node: usize::from_content(req("node")?)?,
+            kernel: String::from_content(req("kernel")?)?,
+            submit_ns: u64::from_content(req("submit_ns")?)?,
+            policy: match field("policy") {
+                Some(v) => PolicyDesc::from_content(v)?,
+                None => PolicyDesc::default(),
+            },
+            candidates: Vec::from_content(req("candidates")?)?,
+            chosen: Option::from_content(req("chosen")?)?,
+            reason: String::from_content(req("reason")?)?,
+        })
+    }
 }
 
 /// Trace lanes of one device (mirrors the paper's Gantt queues, Fig. 16).
@@ -226,7 +281,7 @@ impl CashmereLeafRuntime {
                 });
             }
             let mut balancer = Balancer::new(&speeds);
-            balancer.policy = config.balancer_policy;
+            balancer.set_policy(config.balancer_policy);
             nodes.push(NodeDevices {
                 devices,
                 balancer,
@@ -337,7 +392,7 @@ impl CashmereLeafRuntime {
             node,
             kernel: call.kernel.clone(),
             submit_ns: submit_at.as_nanos(),
-            policy: self.config.balancer_policy,
+            policy: self.nodes[node].balancer.describe_policy(),
             candidates,
             chosen,
             reason: reason.to_string(),
@@ -821,7 +876,7 @@ impl<A: CashmereApp> LeafRuntime<A> for CashmereLeafRuntime {
             .map(|s| s.sim.params.relative_speed)
             .collect();
         let mut balancer = Balancer::new(&speeds);
-        balancer.policy = self.config.balancer_policy;
+        balancer.set_policy(self.config.balancer_policy);
         for (didx, slot) in nd.devices.iter().enumerate() {
             if slot.dead {
                 balancer.retire_device(didx);

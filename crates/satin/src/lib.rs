@@ -22,6 +22,6 @@ pub mod threads;
 
 pub use sim::{
     critical_path_summary, text_table, ClusterApp, ClusterSim, CpuLeafRuntime, DcStep, LeafCtx,
-    LeafPlan, LeafRuntime, RunReport, SimConfig,
+    LeafPlan, LeafRuntime, RunReport, SimConfig, StealKind, StealPolicy,
 };
 pub use threads::{join, parallel_reduce, SatinPool};

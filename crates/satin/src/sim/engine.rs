@@ -12,6 +12,7 @@
 //! Leaf execution is delegated to a [`LeafRuntime`]: one CPU core for plain
 //! Satin, the Cashmere device path in the `cashmere` crate.
 
+use super::steal::{build_steal_policy, StealKind, StealPolicy};
 use crate::sim::app::{ClusterApp, DcStep, LeafCtx, LeafPlan, LeafRuntime};
 use crate::sim::report::RunReport;
 use cashmere_des::fault::{FaultInjector, FaultPlan, MessageFate};
@@ -67,6 +68,10 @@ pub struct SimConfig {
     /// probe is cancelled at root completion, so enabling it changes no
     /// simulated outcome. Must be positive.
     pub probe_interval: Option<SimTime>,
+    /// Steal-victim selection policy. The default ([`StealKind::UniformRandom`])
+    /// reproduces the historical inline random pick draw-for-draw, so
+    /// default-config runs are byte-identical across the policy refactor.
+    pub steal: StealKind,
 }
 
 impl Default for SimConfig {
@@ -85,6 +90,7 @@ impl Default for SimConfig {
             steal_timeout: SimTime::from_millis(5),
             orphan_reuse: true,
             probe_interval: None,
+            steal: StealKind::default(),
         }
     }
 }
@@ -179,6 +185,12 @@ pub struct World<A: ClusterApp, L: LeafRuntime<A>> {
     jobs: Vec<JobRec<A>>,
     nics: Vec<NodeNic>,
     rng: StreamRng,
+    /// Steal-victim selection (the work-stealing half of the policy arena).
+    steal: Box<dyn StealPolicy>,
+    /// `(thief, victim)` per initiated steal attempt, recorded only when
+    /// `cfg.trace` is set (determinism tests read it back via
+    /// [`ClusterSim::steal_victims`]).
+    victim_log: Vec<(usize, usize)>,
     faults: FaultInjector,
     root_job: usize,
     root_result: Option<A::Output>,
@@ -285,6 +297,8 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
             nodes,
             jobs: Vec::new(),
             rng: StreamRng::new(cfg.seed, 0x57EA1),
+            steal: build_steal_policy(cfg.steal),
+            victim_log: Vec::new(),
             faults: FaultInjector::new(cfg.faults.clone(), cfg.seed),
             root_job: 0,
             root_result: None,
@@ -335,6 +349,13 @@ impl<A: ClusterApp, L: LeafRuntime<A>> ClusterSim<A, L> {
     /// [`SimConfig::probe_interval`] is set).
     pub fn probe_series(&self) -> Option<&ProbeSeries> {
         self.world.probe.as_ref()
+    }
+
+    /// `(thief, victim)` per initiated steal attempt, in simulation order.
+    /// Recorded only when [`SimConfig::trace`] is on (empty otherwise);
+    /// determinism tests compare this sequence across runs.
+    pub fn steal_victims(&self) -> &[(usize, usize)] {
+        &self.world.victim_log
     }
 
     /// Access the leaf runtime (e.g. to inspect Cashmere device state).
@@ -1259,15 +1280,20 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
     sim: &mut S<A, L>,
     thief: usize,
 ) {
-    // Pick a random live victim.
-    let mut victim = None;
-    for _ in 0..8 {
-        let v = w.rng.below(w.cfg.nodes);
-        if v != thief && w.nodes[v].alive {
-            victim = Some(v);
-            break;
-        }
-    }
+    // Ask the configured steal policy for a live victim. Field borrows are
+    // split so the policy can read liveness while drawing from the steal
+    // rng stream.
+    let victim = {
+        let World {
+            steal,
+            rng,
+            nodes,
+            cfg,
+            ..
+        } = w;
+        let alive = |v: usize| nodes[v].alive;
+        steal.pick_victim(thief, cfg.nodes, &alive, rng)
+    };
     let Some(victim) = victim else {
         // No live victim found (most nodes crashed): poll again later with
         // bounded exponential backoff — each fruitless poll counts as a
@@ -1289,6 +1315,10 @@ fn initiate_steal<A: ClusterApp, L: LeafRuntime<A>>(
         w.nodes[thief].retry_event = Some(h);
         return;
     };
+    debug_assert!(victim != thief && w.nodes[victim].alive);
+    if w.cfg.trace {
+        w.victim_log.push((thief, victim));
+    }
     w.nodes[thief].stealing = true;
     w.nodes[thief].steal_seq += 1;
     w.nodes[thief].steal_started = sim.now();
@@ -1387,6 +1417,7 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
     match stolen {
         Some(Task::Job(j)) => {
             w.report.steals_ok += 1;
+            w.steal.on_steal_ok(thief, victim);
             let input = w.jobs[j].input.as_ref().expect("queued job has input");
             let bytes = w.app.input_bytes(input);
             let (src_busy, dst_busy) = (w.busy_fraction(victim), w.busy_fraction(thief));
@@ -1500,6 +1531,7 @@ fn handle_steal_request<A: ClusterApp, L: LeafRuntime<A>>(
             }
         }
         _ => {
+            w.steal.on_steal_fail(thief, victim);
             // Nothing to steal: small refusal message, then retry. The first
             // few consecutive failures retry at the base rate (responsive
             // during normal imbalance); sustained failure — the idle tail of
@@ -1580,6 +1612,10 @@ fn crash<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L
     w.nodes[n].steal_failures = 0;
     w.nodes[n].steal_seq += 1;
     w.nodes[n].incarnation += 1;
+    // The crashed node leaves every victim set; stateful steal policies
+    // (e.g. recent-victim caches) invalidate here, in the one place
+    // cluster membership shrinks.
+    w.steal.on_crash(n);
     w.report.crashes += 1;
     // Per-node leaf-runtime state (device timelines, pending device jobs,
     // resident buffers) dies with the node.
@@ -1730,6 +1766,7 @@ fn join<A: ClusterApp, L: LeafRuntime<A>>(w: &mut World<A, L>, sim: &mut S<A, L>
     w.nodes[n].steal_started = SimTime::ZERO;
     // A rebooted node has no half-open connections: reset its NIC.
     w.nics[n] = NodeNic::default();
+    w.steal.on_join(n);
     w.report.joins += 1;
     note_busy_cores(w, sim, n);
     // Bring the node's leaf runtime back up (re-register devices, rebuild
